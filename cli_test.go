@@ -1,0 +1,182 @@
+package hpnn_test
+
+import (
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCLIWorkflow builds the command-line tools and drives the full
+// owner → publish → evaluate → attack flow through their real interfaces:
+// hpnn-train writes a model and key, hpnn-eval checks all three usage
+// scenarios, hpnn-attack mounts both attack modes, hpnn-tpu prints the
+// overhead report.
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"hpnn-train", "hpnn-eval", "hpnn-attack", "hpnn-tpu", "hpnn-dataset"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	model := filepath.Join(dir, "model.hpnn")
+	keyFile := filepath.Join(dir, "key.hex")
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin(name), args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// Owner trains and saves.
+	out := run("hpnn-train",
+		"-dataset", "fashion", "-train-n", "400", "-test-n", "150",
+		"-epochs", "5", "-out", model, "-key-out", keyFile)
+	if !strings.Contains(out, "owner accuracy") {
+		t.Fatalf("train output missing summary:\n%s", out)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatal("model file not written")
+	}
+	key, err := os.ReadFile(keyFile)
+	if err != nil || len(strings.TrimSpace(string(key))) != 64 {
+		t.Fatalf("key file malformed: %v %q", err, key)
+	}
+
+	// Authorized software evaluation.
+	out = run("hpnn-eval", "-model", model, "-key-file", keyFile, "-test-n", "150")
+	if !strings.Contains(out, "with key") {
+		t.Fatalf("eval output unexpected:\n%s", out)
+	}
+
+	// Attacker evaluation (no key) — must mention the attacker scenario.
+	out = run("hpnn-eval", "-model", model, "-test-n", "150")
+	if !strings.Contains(out, "attacker") {
+		t.Fatalf("no-key eval output unexpected:\n%s", out)
+	}
+
+	// Trusted-device (TPU) evaluation.
+	out = run("hpnn-eval", "-model", model, "-key-file", keyFile, "-tpu", "-test-n", "60")
+	if !strings.Contains(out, "trusted device") || !strings.Contains(out, "MACs") {
+		t.Fatalf("tpu eval output unexpected:\n%s", out)
+	}
+
+	// Fine-tuning attack.
+	out = run("hpnn-attack", "-model", model, "-alpha", "0.05", "-epochs", "3",
+		"-train-n", "400", "-test-n", "150")
+	if !strings.Contains(out, "final accuracy") {
+		t.Fatalf("attack output unexpected:\n%s", out)
+	}
+
+	// Key-recovery attack.
+	out = run("hpnn-attack", "-model", model, "-mode", "keyrecovery", "-queries", "40",
+		"-train-n", "400", "-test-n", "150")
+	if !strings.Contains(out, "bits tried/flipped") {
+		t.Fatalf("key-recovery output unexpected:\n%s", out)
+	}
+
+	// Hardware overhead report.
+	out = run("hpnn-tpu", "-rows", "128", "-cols", "128")
+	if !strings.Contains(out, "XOR gates") || !strings.Contains(out, "2048") {
+		t.Fatalf("tpu report unexpected (128 cols → 2048 XOR gates):\n%s", out)
+	}
+
+	// Dataset contact sheets.
+	sheets := filepath.Join(dir, "sheets")
+	out = run("hpnn-dataset", "-dataset", "fashion", "-per-class", "3", "-img", "16", "-out", sheets)
+	if !strings.Contains(out, "fashion.png") {
+		t.Fatalf("dataset tool output unexpected:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(sheets, "fashion.png")); err != nil {
+		t.Fatal("contact sheet not written")
+	}
+}
+
+// TestCLIBenchAndZoo drives the remaining tools: hpnn-bench (crypto
+// experiment — fast) with JSON export, and the hpnn-zoo server/client
+// round-trip over a real TCP port.
+func TestCLIBenchAndZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"hpnn-bench", "hpnn-zoo", "hpnn-train"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	// hpnn-bench: fast experiment + JSON export.
+	jsonDir := filepath.Join(dir, "json")
+	out, err := exec.Command(bin("hpnn-bench"), "-exp", "crypto", "-profile", "bench", "-json", jsonDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("hpnn-bench: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "AES") {
+		t.Fatalf("bench output unexpected:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(jsonDir, "crypto.json")); err != nil {
+		t.Fatal("bench JSON not written")
+	}
+
+	// Train a tiny model to publish.
+	model := filepath.Join(dir, "m.hpnn")
+	if out, err := exec.Command(bin("hpnn-train"),
+		"-dataset", "fashion", "-train-n", "100", "-test-n", "30",
+		"-epochs", "1", "-out", model).CombinedOutput(); err != nil {
+		t.Fatalf("hpnn-train: %v\n%s", err, out)
+	}
+
+	// hpnn-zoo server on a fixed test port.
+	const addr = "127.0.0.1:18734"
+	srv := exec.Command(bin("hpnn-zoo"), "-serve", "-addr", addr)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+	base := "http://" + addr
+	// Wait for the server to come up.
+	ready := false
+	for i := 0; i < 50; i++ {
+		if resp, err := http.Get(base + "/models"); err == nil {
+			resp.Body.Close()
+			ready = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("zoo server did not start")
+	}
+
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin("hpnn-zoo"), args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("hpnn-zoo %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+	run("-server", base, "-publish", "tiny", "-model", model)
+	if out := run("-server", base, "-list"); !strings.Contains(out, "tiny") {
+		t.Fatalf("zoo list missing model:\n%s", out)
+	}
+	fetched := filepath.Join(dir, "fetched.hpnn")
+	run("-server", base, "-fetch", "tiny", "-out", fetched)
+	if _, err := os.Stat(fetched); err != nil {
+		t.Fatal("fetched model not written")
+	}
+}

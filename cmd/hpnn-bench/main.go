@@ -1,0 +1,172 @@
+// hpnn-bench regenerates the paper's tables and figures. Each experiment
+// prints a terminal rendition of its artifact and can additionally write
+// machine-readable JSON; see EXPERIMENTS.md for the paper-vs-measured
+// record.
+//
+// Example:
+//
+//	hpnn-bench                      # every artifact, quick profile
+//	hpnn-bench -exp table1          # just Table I
+//	hpnn-bench -exp fig3 -profile full
+//	hpnn-bench -exp all -json out/  # also write out/<exp>.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hpnn/internal/experiments"
+)
+
+// runner executes one experiment, returning its result object (for JSON
+// export) and its terminal rendition.
+type runner func(p experiments.Profile, logf experiments.Logf) (any, string, error)
+
+var runners = map[string]runner{
+	"table1": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
+		rows, err := experiments.Table1(p, logf)
+		return rows, experiments.RenderTable1(rows), err
+	},
+	"fig3": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
+		res, err := experiments.Fig3(p, logf)
+		return res, experiments.RenderFig3(res), err
+	},
+	"fig4": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
+		res, err := experiments.Fig4Hardware(p, logf)
+		return res, experiments.RenderHardware(res), err
+	},
+	"fig5": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
+		res, err := experiments.Fig5(p, logf)
+		return res, experiments.RenderCurves("Fig. 5: Impact of thief dataset size on fine-tuning attack", res), err
+	},
+	"fig6": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
+		res, err := experiments.Fig6(p, logf)
+		return res, experiments.RenderCurves("Fig. 6: Effect of learning rate (lr) on fine-tuning", res), err
+	},
+	"fig7": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
+		res, err := experiments.Fig7(p, logf)
+		return res, experiments.RenderFig7(res), err
+	},
+	"crypto": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
+		rows, err := experiments.CryptoBaseline(logf)
+		return rows, experiments.RenderCrypto(rows), err
+	},
+	"ablations": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
+		g, err := experiments.AblationLockGranularity(p, logf)
+		if err != nil {
+			return nil, "", err
+		}
+		l, err := experiments.AblationLockedLayers(p, logf)
+		if err != nil {
+			return nil, "", err
+		}
+		k, owner, err := experiments.AblationKeyDistance(p, logf)
+		if err != nil {
+			return nil, "", err
+		}
+		q, err := experiments.AblationQuant(p, logf)
+		if err != nil {
+			return nil, "", err
+		}
+		out := experiments.RenderGranularity(g) +
+			experiments.RenderLayerSubsets(l) +
+			experiments.RenderKeyDistance(k, owner) +
+			experiments.RenderQuant(q)
+		bundle := map[string]any{
+			"granularity":  g,
+			"lockedLayers": l,
+			"keyDistance":  k,
+			"ownerAcc":     owner,
+			"quantization": q,
+		}
+		return bundle, out, nil
+	},
+	"security": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
+		r, err := experiments.KeyRecovery(p, logf)
+		if err != nil {
+			return nil, "", err
+		}
+		tr, owner, err := experiments.TransformAttacks(p, logf)
+		if err != nil {
+			return nil, "", err
+		}
+		wc, err := experiments.WatermarkVsHPNN(p, logf)
+		if err != nil {
+			return nil, "", err
+		}
+		out := experiments.RenderKeyRecovery(r) + experiments.RenderTransforms(tr, owner) +
+			experiments.RenderWatermarkComparison(wc)
+		bundle := map[string]any{
+			"keyRecovery": r,
+			"transforms":  tr,
+			"ownerAcc":    owner,
+			"watermark":   wc,
+		}
+		return bundle, out, nil
+	},
+}
+
+// order fixes the "all" execution sequence.
+var order = []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "crypto", "ablations", "security"}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		expName = flag.String("exp", "all", "experiment: "+strings.Join(order, ", ")+" or all")
+		profile = flag.String("profile", "quick", "scale profile: bench, quick or full")
+		jsonDir = flag.String("json", "", "also write <dir>/<exp>.json result files")
+		verbose = flag.Bool("v", false, "log per-run progress")
+	)
+	flag.Parse()
+
+	p, err := experiments.ProfileByName(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var logf experiments.Logf
+	if *verbose {
+		logf = log.Printf
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	names := []string{*expName}
+	if *expName == "all" {
+		names = order
+	}
+	for _, n := range names {
+		run, ok := runners[n]
+		if !ok {
+			log.Fatalf("unknown experiment %q (want %s or all)", n, strings.Join(order, ", "))
+		}
+		fmt.Printf("=== %s (profile %s) ===\n", n, p.Name)
+		start := time.Now()
+		result, rendered, err := run(p, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rendered)
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, n+".json")
+			blob, err := json.MarshalIndent(result, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("(json written to %s)\n", path)
+		}
+		fmt.Printf("--- %s done in %s ---\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

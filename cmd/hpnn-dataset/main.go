@@ -1,0 +1,60 @@
+// hpnn-dataset renders contact sheets of the synthetic benchmarks — one
+// row per class — so the stand-in datasets can be inspected visually.
+//
+// Example:
+//
+//	hpnn-dataset -out sheets/             # all three benchmarks
+//	hpnn-dataset -dataset svhn -img 32 -per-class 12 -out .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hpnn/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		name     = flag.String("dataset", "", "benchmark to render (default: all)")
+		imgSize  = flag.Int("img", 0, "image size (0 = native)")
+		perClass = flag.Int("per-class", 10, "samples per class row")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		out      = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	names := dataset.Names()
+	if *name != "" {
+		names = []string{*name}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range names {
+		ds, err := dataset.Generate(dataset.Config{
+			Name: n, TrainN: *perClass * dataset.NumClasses * 2, TestN: 10,
+			H: *imgSize, W: *imgSize, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*out, n+".png")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.WriteContactSheet(f, *perClass); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %dx%dx%d, %d classes -> %s\n", n, ds.C, ds.H, ds.W, ds.Classes, path)
+	}
+}

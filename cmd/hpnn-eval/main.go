@@ -1,0 +1,101 @@
+// hpnn-eval evaluates a published HPNN model under the paper's usage
+// scenarios: authorized user (key + trusted hardware), attacker (baseline
+// architecture, no key), or wrong-key pirate hardware.
+//
+// Example:
+//
+//	hpnn-eval -model model.hpnn -key-file key.hex            # software, with key
+//	hpnn-eval -model model.hpnn                              # attacker: no key
+//	hpnn-eval -model model.hpnn -key-file key.hex -tpu       # trusted-device simulator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hpnn"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		modelPath = flag.String("model", "model.hpnn", "published model file")
+		keyHex    = flag.String("key", "", "HPNN key as hex (empty = attacker scenario, no key)")
+		keyFile   = flag.String("key-file", "", "read the key hex from this file")
+		schedSd   = flag.Uint64("sched-seed", 77, "private hardware-schedule seed")
+		dsName    = flag.String("dataset", "fashion", "benchmark to evaluate on")
+		testN     = flag.Int("test-n", 300, "test samples")
+		seed      = flag.Uint64("seed", 1, "dataset seed (must match training)")
+		useTPU    = flag.Bool("tpu", false, "run on the simulated TPU-like trusted device")
+		gateLevel = flag.Bool("gate-level", false, "bit-accurate accumulator datapath (slow; implies -tpu)")
+	)
+	flag.Parse()
+
+	m, err := hpnn.LoadModelFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := hpnn.GenerateDataset(hpnn.DatasetConfig{
+		Name: *dsName, TrainN: 10, TestN: *testN, H: m.Config.InH, W: m.Config.InW, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hexStr := *keyHex
+	if *keyFile != "" {
+		raw, err := os.ReadFile(*keyFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hexStr = strings.TrimSpace(string(raw))
+	}
+
+	sched := hpnn.NewSchedule(*schedSd)
+	switch {
+	case *useTPU || *gateLevel:
+		var dev *hpnn.Device
+		scenario := "commodity accelerator (no key)"
+		if hexStr != "" {
+			key, err := hpnn.KeyFromHex(hexStr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dev = hpnn.NewTrustedDevice("cli-device", key)
+			scenario = "trusted device (key on-chip)"
+		}
+		cfg := hpnn.DefaultAcceleratorConfig()
+		cfg.GateLevel = *gateLevel
+		acc, err := hpnn.NewAccelerator(cfg, dev, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := acc.Accuracy(m, ds.TestX, ds.TestY)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := acc.Stats()
+		fmt.Printf("scenario: %s\n", scenario)
+		fmt.Printf("accuracy: %.2f%% over %d samples\n", 100*a, *testN)
+		fmt.Printf("hardware: %d MACs, %d cycles, %d tile passes, %d locked outputs\n",
+			s.MACs, s.Cycles, s.TilePasses, s.LockedOutputs)
+		if *gateLevel {
+			fmt.Printf("gate ops: %d (bit-accurate datapath)\n", s.GateOps)
+		}
+	case hexStr != "":
+		key, err := hpnn.KeyFromHex(hexStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.ApplyRawKey(key, sched)
+		fmt.Printf("scenario: software evaluation with key\n")
+		fmt.Printf("accuracy: %.2f%%\n", 100*m.Accuracy(ds.TestX, ds.TestY, 64))
+	default:
+		m.DisengageLocks()
+		fmt.Printf("scenario: attacker — baseline architecture, no key\n")
+		fmt.Printf("accuracy: %.2f%%\n", 100*m.Accuracy(ds.TestX, ds.TestY, 64))
+	}
+}

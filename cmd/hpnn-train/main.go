@@ -1,0 +1,119 @@
+// hpnn-train is the model owner's tool: it trains a key-locked DNN on one
+// of the synthetic benchmarks with the key-dependent backpropagation
+// algorithm and writes the obfuscated model (weights only, no key
+// material) plus the secret key as a hex file.
+//
+// Example:
+//
+//	hpnn-train -dataset fashion -out model.hpnn -key-out key.hex
+//	hpnn-train -dataset cifar -width 0.25 -epochs 12 -out cifar.hpnn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hpnn"
+	"hpnn/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		dsName   = flag.String("dataset", "fashion", "benchmark: fashion, cifar or svhn")
+		archName = flag.String("arch", "", "architecture: cnn1, cnn2, cnn3, resnet18, mlp (default: the Table I pairing)")
+		trainN   = flag.Int("train-n", 800, "training samples")
+		testN    = flag.Int("test-n", 300, "test samples")
+		imgSize  = flag.Int("img", 16, "image size (0 = dataset native)")
+		width    = flag.Float64("width", 0, "architecture width scale (0 = sensible default for the size)")
+		epochs   = flag.Int("epochs", 8, "training epochs")
+		batch    = flag.Int("batch", 32, "batch size")
+		lr       = flag.Float64("lr", 0.02, "learning rate")
+		momentum = flag.Float64("momentum", 0.9, "SGD momentum")
+		seed     = flag.Uint64("seed", 1, "master seed (data, init, key, schedule)")
+		keyHex   = flag.String("key", "", "HPNN key as 64 hex chars (default: generate from seed)")
+		schedSd  = flag.Uint64("sched-seed", 77, "private hardware-schedule seed")
+		out      = flag.String("out", "model.hpnn", "output model file")
+		keyOut   = flag.String("key-out", "", "write the generated key (hex) to this file")
+	)
+	flag.Parse()
+
+	ds, err := hpnn.GenerateDataset(hpnn.DatasetConfig{
+		Name: *dsName, TrainN: *trainN, TestN: *testN, H: *imgSize, W: *imgSize, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	arch := core.Arch(*archName)
+	if *archName == "" {
+		switch *dsName {
+		case "fashion":
+			arch = hpnn.CNN1
+		case "cifar":
+			arch = hpnn.CNN2
+		case "svhn":
+			arch = hpnn.CNN3
+		}
+	}
+	ws := *width
+	if ws == 0 {
+		// Scale the bigger nets down at reduced resolution.
+		switch arch {
+		case hpnn.CNN2, hpnn.ResNet18:
+			ws = 0.125
+		case hpnn.CNN3:
+			ws = 0.25
+		default:
+			ws = 1
+		}
+	}
+
+	m, err := hpnn.NewModel(hpnn.Config{
+		Arch: arch, InC: ds.C, InH: ds.H, InW: ds.W,
+		Classes: ds.Classes, WidthScale: ws, Seed: *seed + 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	key := hpnn.GenerateKey(*seed + 2)
+	if *keyHex != "" {
+		if key, err = hpnn.KeyFromHex(*keyHex); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sched := hpnn.NewSchedule(*schedSd)
+
+	log.Printf("training %s on %s (%dx%dx%d, %d train / %d test, %d locked neurons, %d params)",
+		arch, *dsName, ds.C, ds.H, ds.W, *trainN, *testN, m.LockedNeurons(), m.Net.ParamCount())
+	res := hpnn.TrainLocked(m, key, sched, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, hpnn.TrainConfig{
+		Epochs: *epochs, BatchSize: *batch, LR: *lr, Momentum: *momentum, Seed: *seed + 3,
+		Logf: log.Printf,
+	})
+	ownerAcc := res.FinalTestAcc()
+
+	m.DisengageLocks()
+	noKey := m.Accuracy(ds.TestX, ds.TestY, 64)
+	m.EngageLocks()
+
+	fmt.Printf("owner accuracy (with key): %.2f%%\n", 100*ownerAcc)
+	fmt.Printf("stolen-model accuracy (no key): %.2f%% (drop %.2f points)\n",
+		100*noKey, 100*(ownerAcc-noKey))
+
+	if err := hpnn.SaveModelFile(*out, m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("obfuscated model written to %s\n", *out)
+	if *keyOut != "" {
+		if err := os.WriteFile(*keyOut, []byte(key.Hex()+"\n"), 0o600); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("secret key written to %s (keep private; schedule seed %d also required)\n", *keyOut, *schedSd)
+	} else {
+		fmt.Printf("secret key: %s…%s (use -key-out to save it)\n", key.Hex()[:8], strings.Repeat("*", 8))
+	}
+}

@@ -1,0 +1,79 @@
+// hpnn-zoo is the public model-sharing platform of Fig. 1 and its client:
+// run it as a server to host published obfuscated models, or use the
+// client flags to publish, list and fetch models.
+//
+// Example:
+//
+//	hpnn-zoo -serve -addr :8080
+//	hpnn-zoo -server http://localhost:8080 -publish fashion-cnn1 -model model.hpnn
+//	hpnn-zoo -server http://localhost:8080 -list
+//	hpnn-zoo -server http://localhost:8080 -fetch fashion-cnn1 -out stolen.hpnn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"hpnn"
+	"hpnn/internal/modelio"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		serve   = flag.Bool("serve", false, "run the model-zoo server")
+		addr    = flag.String("addr", ":8080", "server listen address")
+		server  = flag.String("server", "http://localhost:8080", "zoo server URL (client mode)")
+		publish = flag.String("publish", "", "publish the -model file under this name")
+		fetch   = flag.String("fetch", "", "download this model")
+		list    = flag.Bool("list", false, "list published models")
+		model   = flag.String("model", "model.hpnn", "model file to publish")
+		out     = flag.String("out", "fetched.hpnn", "output file for -fetch")
+	)
+	flag.Parse()
+
+	if *serve {
+		zoo := modelio.NewZoo()
+		log.Printf("model zoo listening on %s (POST/GET /models/{name})", *addr)
+		log.Fatal(http.ListenAndServe(*addr, zoo.Handler()))
+	}
+
+	client := modelio.NewClient(*server)
+	switch {
+	case *publish != "":
+		m, err := hpnn.LoadModelFile(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := client.Publish(*publish, m); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %s as %q (%d params; weights only, no key material)\n",
+			*model, *publish, m.Net.ParamCount())
+	case *fetch != "":
+		m, err := client.Fetch(*fetch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hpnn.SaveModelFile(*out, m); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fetched %q (%s, %d params) to %s\n", *fetch, m.Config.Arch, m.Net.ParamCount(), *out)
+	case *list:
+		names, err := client.List()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(names) == 0 {
+			fmt.Println("(no models published)")
+			return
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	default:
+		flag.Usage()
+	}
+}

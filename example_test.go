@@ -1,0 +1,45 @@
+package hpnn_test
+
+import (
+	"fmt"
+
+	"hpnn"
+)
+
+// ExampleGenerateKey shows key generation and the non-leaking fingerprint.
+func ExampleGenerateKey() {
+	key := hpnn.GenerateKey(42)
+	other := hpnn.GenerateKey(43)
+	fmt.Println("key length (bits):", hpnn.KeyBits)
+	fmt.Println("distance between random keys ~128:", key.HammingDistance(other) > 90)
+	// Output:
+	// key length (bits): 256
+	// distance between random keys ~128: true
+}
+
+// ExampleHardwareOverhead reproduces the §III-D3 overhead numbers.
+func ExampleHardwareOverhead() {
+	rep := hpnn.HardwareOverhead(hpnn.DefaultAcceleratorConfig())
+	fmt.Println("XOR gates:", rep.XORGates)
+	fmt.Println("extra cycles:", rep.ExtraCycles)
+	fmt.Printf("overhead vs 1e6-gate MMU: %.3f%%\n", rep.OverheadPaperPct)
+	// Output:
+	// XOR gates: 4096
+	// extra cycles: 0
+	// overhead vs 1e6-gate MMU: 0.410%
+}
+
+// ExampleNewModel shows that the Table I architectures carry exactly the
+// paper's locked-neuron counts at native sizes.
+func ExampleNewModel() {
+	cnn1, _ := hpnn.NewModel(hpnn.Config{Arch: hpnn.CNN1, InC: 1, InH: 28, InW: 28})
+	cnn2, _ := hpnn.NewModel(hpnn.Config{Arch: hpnn.CNN2, InC: 3, InH: 32, InW: 32})
+	cnn3, _ := hpnn.NewModel(hpnn.Config{Arch: hpnn.CNN3, InC: 3, InH: 32, InW: 32})
+	fmt.Println("CNN1 locked neurons:", cnn1.LockedNeurons())
+	fmt.Println("CNN2 locked neurons:", cnn2.LockedNeurons())
+	fmt.Println("CNN3 locked neurons:", cnn3.LockedNeurons())
+	// Output:
+	// CNN1 locked neurons: 4352
+	// CNN2 locked neurons: 198144
+	// CNN3 locked neurons: 29696
+}

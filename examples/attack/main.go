@@ -1,0 +1,62 @@
+// Attack scenario: the model fine-tuning study of §IV-B/§IV-C.
+//
+// A victim model is trained and "stolen"; the attacker retrains it on
+// thief datasets of increasing size, with both stolen-weight and random
+// initialization, showing that (a) small thief sets cannot recover the
+// owner's accuracy and (b) the obfuscated weights leak no useful head
+// start over random initialization.
+//
+//	go run ./examples/attack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpnn"
+)
+
+func main() {
+	ds, err := hpnn.GenerateDataset(hpnn.DatasetConfig{
+		Name: "fashion", TrainN: 800, TestN: 300, H: 16, W: 16, Seed: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	victim, err := hpnn.NewModel(hpnn.Config{
+		Arch: hpnn.CNN1, InC: ds.C, InH: ds.H, InW: ds.W, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := hpnn.TrainLocked(victim, hpnn.GenerateKey(12), hpnn.NewSchedule(13),
+		ds.TrainX, ds.TrainY, ds.TestX, ds.TestY,
+		hpnn.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.02, Momentum: 0.9, Seed: 14})
+	ownerAcc := res.FinalTestAcc()
+	fmt.Printf("victim trained: owner accuracy %.2f%%\n\n", 100*ownerAcc)
+
+	ftTrain := hpnn.TrainConfig{Epochs: 8, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: 15}
+	fmt.Printf("%-6s %-16s %-16s\n", "α", "HPNN fine-tune", "random fine-tune")
+	for _, alpha := range []float64{0.01, 0.02, 0.05, 0.10} {
+		stolen, _, err := hpnn.FineTune(victim, ds, hpnn.FineTuneConfig{
+			ThiefFrac: alpha, ThiefSeed: 16, Init: hpnn.InitStolen,
+			AttackerSeed: 17, Train: ftTrain,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		random, _, err := hpnn.FineTune(victim, ds, hpnn.FineTuneConfig{
+			ThiefFrac: alpha, ThiefSeed: 16, Init: hpnn.InitRandom,
+			AttackerSeed: 18, Train: ftTrain,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %6.2f%%          %6.2f%%\n",
+			fmt.Sprintf("%g%%", alpha*100), 100*stolen.FinalAcc, 100*random.FinalAcc)
+	}
+	fmt.Printf("\nowner accuracy remains out of reach: %.2f%%\n", 100*ownerAcc)
+	fmt.Println("attack success grows with α but stays below the owner (§IV-B);")
+	fmt.Println("see EXPERIMENTS.md for the §IV-C leakage comparison at this scale")
+}

@@ -1,0 +1,85 @@
+// Model-zoo scenario: the complete MLaaS flow of Fig. 1, end to end over
+// HTTP.
+//
+// The owner trains a locked model and publishes it to a public model zoo.
+// An authorized customer (with a trusted device) and a pirate (without)
+// both download the same artifact; only the customer gets the advertised
+// accuracy.
+//
+//	go run ./examples/modelzoo
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"hpnn"
+	"hpnn/internal/modelio"
+)
+
+func main() {
+	// --- the public platform -------------------------------------------
+	zoo := modelio.NewZoo()
+	server := httptest.NewServer(zoo.Handler())
+	defer server.Close()
+	fmt.Printf("model zoo running at %s\n\n", server.URL)
+
+	// --- the owner -------------------------------------------------------
+	ds, err := hpnn.GenerateDataset(hpnn.DatasetConfig{
+		Name: "svhn", TrainN: 700, TestN: 250, H: 16, W: 16, Seed: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	key := hpnn.GenerateKey(21) // stays with the owner and the device vendor
+	sched := hpnn.NewSchedule(22)
+
+	model, err := hpnn.NewModel(hpnn.Config{
+		Arch: hpnn.CNN3, InC: ds.C, InH: ds.H, InW: ds.W, WidthScale: 0.25, Seed: 23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := hpnn.TrainLocked(model, key, sched, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY,
+		hpnn.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.02, Momentum: 0.9, Seed: 24})
+	fmt.Printf("owner: trained CNN3 to %.2f%%, publishing to the zoo\n", 100*res.FinalTestAcc())
+
+	owner := modelio.NewClient(server.URL)
+	if err := owner.Publish("svhn-cnn3-v1", model); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- an authorized customer ------------------------------------------
+	customer := modelio.NewClient(server.URL)
+	names, err := customer.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncustomer: zoo lists %v\n", names)
+	downloaded, err := customer.Fetch("svhn-cnn3-v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	device := hpnn.NewTrustedDevice("customer-edge-device", key) // licensed hardware
+	acc, err := hpnn.NewAccelerator(hpnn.DefaultAcceleratorConfig(), device, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := acc.Accuracy(downloaded, ds.TestX, ds.TestY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("customer: accuracy on trusted device      %.2f%%\n", 100*a)
+
+	// --- a pirate ---------------------------------------------------------
+	pirate := modelio.NewClient(server.URL)
+	stolen, err := pirate.Fetch("svhn-cnn3-v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stolen.DisengageLocks() // baseline architecture, no key
+	p := stolen.Accuracy(ds.TestX, ds.TestY, 64)
+	fmt.Printf("pirate:   accuracy without trusted device %.2f%%\n", 100*p)
+	fmt.Printf("\nsame download, %.2f-point gap: the license is the hardware.\n", 100*(a-p))
+}

@@ -1,0 +1,3 @@
+module hpnn
+
+go 1.22

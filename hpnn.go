@@ -1,0 +1,170 @@
+// Package hpnn is the public API of the HPNN reproduction — the
+// obfuscation framework of "Hardware-Assisted Intellectual Property
+// Protection of Deep Learning Models" (Chakraborty, Mondal, Srivastava,
+// DAC 2020).
+//
+// The package re-exports the user-facing workflow from the internal
+// packages, organized around the paper's three roles:
+//
+//   - The model owner generates a secret 256-bit HPNN key, trains a DNN
+//     with the key-dependent backpropagation algorithm (TrainLocked) and
+//     publishes the obfuscated weights (SaveModel / modelio zoo).
+//
+//   - An authorized end-user holds a trusted hardware device with the key
+//     embedded on-chip (NewTrustedDevice) and runs inference through the
+//     TPU-like accelerator simulator (NewAccelerator), which restores the
+//     intended functionality.
+//
+//   - An attacker can download the published model and run it on the
+//     baseline architecture (DisengageLocks) or mount fine-tuning attacks
+//     (FineTune) — both collapse or fall short of the owner's accuracy.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure.
+package hpnn
+
+import (
+	"io"
+
+	"hpnn/internal/attack"
+	"hpnn/internal/core"
+	"hpnn/internal/dataset"
+	"hpnn/internal/keys"
+	"hpnn/internal/modelio"
+	"hpnn/internal/rng"
+	"hpnn/internal/schedule"
+	"hpnn/internal/tensor"
+	"hpnn/internal/tpu"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Model is a (possibly key-locked) deep-learning model.
+	Model = core.Model
+	// Config describes a model architecture to build.
+	Config = core.Config
+	// Arch names one of the paper's network architectures.
+	Arch = core.Arch
+	// TrainConfig controls a training or fine-tuning run.
+	TrainConfig = core.TrainConfig
+	// TrainResult records a run's per-epoch trajectory.
+	TrainResult = core.TrainResult
+
+	// Key is a 256-bit HPNN secret key.
+	Key = keys.Key
+	// Device is a sealed trusted-hardware key container.
+	Device = keys.Device
+	// Schedule is the private neuron→accumulator-column mapping.
+	Schedule = schedule.Schedule
+
+	// Dataset is a generated benchmark with train/test splits.
+	Dataset = dataset.Dataset
+	// DatasetConfig selects and sizes a benchmark.
+	DatasetConfig = dataset.Config
+
+	// Tensor is the dense float64 array type used throughout.
+	Tensor = tensor.Tensor
+
+	// Accelerator is the simulated TPU-like trusted inference device.
+	Accelerator = tpu.Accelerator
+	// AcceleratorConfig sizes the simulated matrix-multiply unit.
+	AcceleratorConfig = tpu.Config
+	// GateReport is the hardware-overhead accounting of §III-D3.
+	GateReport = tpu.GateReport
+
+	// FineTuneConfig describes a model fine-tuning attack.
+	FineTuneConfig = attack.FineTuneConfig
+	// AttackResult is the outcome of a fine-tuning attack.
+	AttackResult = attack.Result
+)
+
+// Architectures of the paper's evaluation.
+const (
+	CNN1     = core.CNN1
+	CNN2     = core.CNN2
+	CNN3     = core.CNN3
+	ResNet18 = core.ResNet18
+	MLP      = core.MLP
+)
+
+// Attacker initialization modes (§IV-C).
+const (
+	InitStolen = attack.InitStolen
+	InitRandom = attack.InitRandom
+)
+
+// KeyBits is the HPNN key length (256, one bit per accumulator column).
+const KeyBits = keys.KeyBits
+
+// NewModel builds a model with freshly initialized weights and engaged
+// (all-zero) locks.
+func NewModel(cfg Config) (*Model, error) { return core.NewModel(cfg) }
+
+// GenerateKey draws a random HPNN key from a deterministic seed.
+func GenerateKey(seed uint64) Key { return keys.Generate(rng.New(seed)) }
+
+// KeyFromHex parses a 64-character hex key.
+func KeyFromHex(s string) (Key, error) { return keys.FromHex(s) }
+
+// NewSchedule creates the owner's private hardware scheduling algorithm
+// for 256-column hardware.
+func NewSchedule(seed uint64) *Schedule { return schedule.New(keys.KeyBits, seed) }
+
+// NewTrustedDevice provisions trusted hardware with the key sealed on-chip.
+func NewTrustedDevice(serial string, key Key) *Device { return keys.NewDevice(serial, key) }
+
+// Authority is the owner's licensing service: it provisions trusted
+// devices by serial and supports revocation (revoked devices answer every
+// key-bit query with zero, degrading to the useless baseline function).
+type Authority = keys.Authority
+
+// NewAuthority creates a licensing authority holding the HPNN key.
+func NewAuthority(key Key) *Authority { return keys.NewAuthority(key) }
+
+// TrainLocked runs the owner's key-dependent training: the key is expanded
+// through the schedule onto every locked neuron, then the network is
+// trained with the key-dependent backpropagation rule.
+func TrainLocked(m *Model, key Key, sched *Schedule, trainX *Tensor, trainY []int, testX *Tensor, testY []int, cfg TrainConfig) TrainResult {
+	m.ApplyRawKey(key, sched)
+	return core.Train(m, trainX, trainY, testX, testY, cfg)
+}
+
+// Train runs conventional training with the model's current lock state
+// (all-zero engaged locks are the unlocked baseline).
+func Train(m *Model, trainX *Tensor, trainY []int, testX *Tensor, testY []int, cfg TrainConfig) TrainResult {
+	return core.Train(m, trainX, trainY, testX, testY, cfg)
+}
+
+// GenerateDataset builds one of the synthetic benchmarks ("fashion",
+// "cifar" or "svhn").
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Generate(cfg) }
+
+// FineTune mounts a model fine-tuning attack against a victim model.
+func FineTune(victim *Model, ds *Dataset, cfg FineTuneConfig) (AttackResult, *Model, error) {
+	return attack.FineTune(victim, ds, cfg)
+}
+
+// NewAccelerator builds the simulated TPU-like device. dev may be nil to
+// model commodity hardware without the HPNN key.
+func NewAccelerator(cfg AcceleratorConfig, dev *Device, sched *Schedule) (*Accelerator, error) {
+	return tpu.NewAccelerator(cfg, dev, sched)
+}
+
+// DefaultAcceleratorConfig is the paper's 256×256 MMU geometry.
+func DefaultAcceleratorConfig() AcceleratorConfig { return tpu.DefaultConfig() }
+
+// HardwareOverhead reports the gate/area/cycle cost of the HPNN hardware
+// modification for an MMU geometry (§III-D3).
+func HardwareOverhead(cfg AcceleratorConfig) GateReport { return tpu.Gates(cfg) }
+
+// SaveModel serializes a model (weights only — never key material) to w.
+func SaveModel(w io.Writer, m *Model) error { return modelio.Save(w, m) }
+
+// LoadModel deserializes a model published with SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return modelio.Load(r) }
+
+// SaveModelFile and LoadModelFile are file-path conveniences.
+func SaveModelFile(path string, m *Model) error { return modelio.SaveFile(path, m) }
+
+// LoadModelFile reads a model from a file.
+func LoadModelFile(path string) (*Model, error) { return modelio.LoadFile(path) }

@@ -1,0 +1,183 @@
+package hpnn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPublicAPIWorkflow exercises the full owner → publish → authorized
+// user → attacker story through the facade only.
+func TestPublicAPIWorkflow(t *testing.T) {
+	ds, err := GenerateDataset(DatasetConfig{
+		Name: "fashion", TrainN: 300, TestN: 120, H: 16, W: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner: key, schedule, locked training.
+	key := GenerateKey(2)
+	sched := NewSchedule(3)
+	m, err := NewModel(Config{Arch: CNN1, InC: 1, InH: 16, InW: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := TrainLocked(m, key, sched, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, TrainConfig{
+		Epochs: 6, BatchSize: 32, LR: 0.02, Momentum: 0.9, Seed: 5,
+	})
+	ownerAcc := res.FinalTestAcc()
+	if ownerAcc < 0.6 {
+		t.Fatalf("owner training failed: %.3f", ownerAcc)
+	}
+
+	// Publish / download round-trip.
+	var blob bytes.Buffer
+	if err := SaveModel(&blob, m); err != nil {
+		t.Fatal(err)
+	}
+	published, err := LoadModel(bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Authorized user: trusted device restores the accuracy.
+	acc, err := NewAccelerator(DefaultAcceleratorConfig(), NewTrustedDevice("edge-1", key), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwAcc, err := acc.Accuracy(published, ds.TestX, ds.TestY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwAcc < ownerAcc-0.15 {
+		t.Fatalf("trusted-device accuracy %.3f far below owner %.3f", hwAcc, ownerAcc)
+	}
+
+	// Attacker: baseline architecture collapses.
+	published.DisengageLocks()
+	stolenAcc := published.Accuracy(ds.TestX, ds.TestY, 64)
+	if stolenAcc > ownerAcc-0.3 {
+		t.Fatalf("stolen-model accuracy %.3f did not collapse (owner %.3f)", stolenAcc, ownerAcc)
+	}
+
+	// Attacker: fine-tuning with a 10 % thief set falls short.
+	ft, _, err := FineTune(m, ds, FineTuneConfig{
+		ThiefFrac: 0.10, ThiefSeed: 6, Init: InitStolen,
+		Train: TrainConfig{Epochs: 5, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.BestAcc >= ownerAcc {
+		t.Fatalf("fine-tuning attack beat the owner: %.3f vs %.3f", ft.BestAcc, ownerAcc)
+	}
+
+	// Hardware overhead claim.
+	rep := HardwareOverhead(DefaultAcceleratorConfig())
+	if rep.XORGates != 4096 || rep.OverheadPaperPct >= 0.5 || rep.ExtraCycles != 0 {
+		t.Fatalf("overhead report violates the paper's claims: %+v", rep)
+	}
+}
+
+func TestKeyFromHexFacade(t *testing.T) {
+	k := GenerateKey(9)
+	back, err := KeyFromHex(k.Hex())
+	if err != nil || !back.Equal(k) {
+		t.Fatal("hex round-trip through facade failed")
+	}
+}
+
+// TestOneKeyManyModels demonstrates §III-A: "a model owner can train
+// several DNNs using the same HPNN key to obtain obfuscated DL models
+// targeting different applications" — one trusted device serves them all.
+func TestOneKeyManyModels(t *testing.T) {
+	key := GenerateKey(60)
+	sched := NewSchedule(61)
+	dev := NewTrustedDevice("edge-multi", key)
+	acc, err := NewAccelerator(DefaultAcceleratorConfig(), dev, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := TrainConfig{Epochs: 10, BatchSize: 32, LR: 0.02, Momentum: 0.9, Seed: 62}
+
+	apps := []struct {
+		ds   string
+		arch Arch
+		ws   float64
+	}{
+		{"fashion", CNN1, 1},
+		{"svhn", CNN3, 0.25},
+	}
+	for _, app := range apps {
+		ds, err := GenerateDataset(DatasetConfig{
+			Name: app.ds, TrainN: 700, TestN: 150, H: 16, W: 16, Seed: 63,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewModel(Config{Arch: app.arch, InC: ds.C, InH: 16, InW: 16, WidthScale: app.ws, Seed: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := TrainLocked(m, key, sched, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, train)
+		owner := res.FinalTestAcc()
+		if owner < 0.45 {
+			t.Fatalf("%s/%s victim failed to train: %.3f", app.ds, app.arch, owner)
+		}
+		hw, err := acc.Accuracy(m, ds.TestX, ds.TestY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hw < owner-0.15 {
+			t.Fatalf("%s/%s: shared-key device accuracy %.3f far below owner %.3f",
+				app.ds, app.arch, hw, owner)
+		}
+	}
+}
+
+// TestLicenseRevocation: the Fig. 1 licensing story — a revoked device's
+// accelerator degrades to the collapsed baseline function.
+func TestLicenseRevocation(t *testing.T) {
+	ds, err := GenerateDataset(DatasetConfig{
+		Name: "fashion", TrainN: 300, TestN: 120, H: 16, W: 16, Seed: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := GenerateKey(81)
+	sched := NewSchedule(82)
+	m, err := NewModel(Config{Arch: CNN1, InC: 1, InH: 16, InW: 16, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := TrainLocked(m, key, sched, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, TrainConfig{
+		Epochs: 6, BatchSize: 32, LR: 0.02, Momentum: 0.9, Seed: 84,
+	})
+
+	auth := NewAuthority(key)
+	dev, err := auth.Issue("customer-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewAccelerator(DefaultAcceleratorConfig(), dev, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := acc.Accuracy(m, ds.TestX, ds.TestY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before < res.FinalTestAcc()-0.15 {
+		t.Fatalf("licensed device underperforms: %.3f vs %.3f", before, res.FinalTestAcc())
+	}
+	if err := auth.Revoke("customer-1"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := acc.Accuracy(m, ds.TestX, ds.TestY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before-0.3 {
+		t.Fatalf("revocation did not collapse the device: %.3f -> %.3f", before, after)
+	}
+}

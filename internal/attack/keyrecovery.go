@@ -1,0 +1,116 @@
+package attack
+
+import (
+	"fmt"
+
+	"hpnn/internal/core"
+	"hpnn/internal/dataset"
+	"hpnn/internal/rng"
+)
+
+// Key-recovery attack (beyond the paper's evaluation; DESIGN.md ablation):
+// instead of retraining, the attacker tries to recover the lock bits
+// themselves. Each locked neuron's bit flips the sign of its
+// pre-activation, so an attacker with thief data can hill-climb: flip one
+// hypothesized bit at a time and keep the flip when thief-set accuracy
+// improves. This is the analogue of sensitization attacks on logic
+// locking, and quantifies how much security rests on the key length and
+// schedule privacy rather than on retraining cost alone.
+
+// KeyRecoveryConfig budgets a greedy bit-recovery attack.
+type KeyRecoveryConfig struct {
+	// ThiefFrac/ThiefSeed select the attacker's labelled data.
+	ThiefFrac float64
+	ThiefSeed uint64
+	// MaxQueries caps the number of thief-set evaluations (each bit trial
+	// costs one forward pass over the thief set).
+	MaxQueries int
+	// Seed randomizes the neuron visit order.
+	Seed uint64
+}
+
+// KeyRecoveryResult summarizes the attack.
+type KeyRecoveryResult struct {
+	ThiefSamples int
+	Queries      int
+	BitsTried    int
+	BitsFlipped  int
+	// Thief-set accuracy before and after hill climbing.
+	ThiefAccStart, ThiefAccEnd float64
+	// Held-out test accuracy before and after (what the attacker gains).
+	TestAccStart, TestAccEnd float64
+}
+
+// RecoverLocks runs the greedy bit-recovery attack against victim using
+// its dataset's thief subset, and evaluates the attacker's gain on the
+// test split. The victim is not modified.
+func RecoverLocks(victim *core.Model, ds *dataset.Dataset, cfg KeyRecoveryConfig) (KeyRecoveryResult, error) {
+	var res KeyRecoveryResult
+	if cfg.ThiefFrac <= 0 || cfg.ThiefFrac > 1 {
+		return res, fmt.Errorf("attack: thief fraction %v out of (0,1]", cfg.ThiefFrac)
+	}
+	if cfg.MaxQueries <= 0 {
+		cfg.MaxQueries = 1000
+	}
+
+	// The attacker's copy: stolen weights on the baseline architecture,
+	// with a lock-bit hypothesis it is free to mutate (all-zero start).
+	attackerCfg := victim.Config
+	attacker, err := core.NewModel(attackerCfg)
+	if err != nil {
+		return res, err
+	}
+	if err := victim.CloneWeightsTo(attacker); err != nil {
+		return res, err
+	}
+	for _, l := range attacker.Locks() {
+		l.SetBits(make([]byte, l.Neurons()))
+		l.Engage()
+	}
+
+	thiefX, thiefY := ds.ThiefSubset(cfg.ThiefFrac, cfg.ThiefSeed)
+	res.ThiefSamples = len(thiefY)
+	if res.ThiefSamples == 0 {
+		return res, fmt.Errorf("attack: empty thief set")
+	}
+
+	evalThief := func() float64 {
+		res.Queries++
+		return attacker.Accuracy(thiefX, thiefY, 64)
+	}
+
+	res.TestAccStart = attacker.Accuracy(ds.TestX, ds.TestY, 64)
+	best := evalThief()
+	res.ThiefAccStart = best
+
+	// Visit neurons in a random order across all locks, flipping greedily
+	// until the query budget runs out.
+	locks := attacker.Locks()
+	type site struct{ lock, bit int }
+	var sites []site
+	for li, l := range locks {
+		for j := 0; j < l.Neurons(); j++ {
+			sites = append(sites, site{li, j})
+		}
+	}
+	r := rng.New(cfg.Seed)
+	order := r.Perm(len(sites))
+	for _, si := range order {
+		if res.Queries >= cfg.MaxQueries {
+			break
+		}
+		s := sites[si]
+		l := locks[s.lock]
+		res.BitsTried++
+		l.Factors[s.bit] = -l.Factors[s.bit]
+		if acc := evalThief(); acc > best {
+			best = acc
+			res.BitsFlipped++
+		} else {
+			l.Factors[s.bit] = -l.Factors[s.bit] // revert
+		}
+	}
+	res.ThiefAccEnd = best
+	res.TestAccEnd = attacker.Accuracy(ds.TestX, ds.TestY, 64)
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package attack
+
+import (
+	"testing"
+)
+
+func TestRecoverLocksImprovesButRespectsBudget(t *testing.T) {
+	f := getFixture(t)
+	res, err := RecoverLocks(f.victim, f.ds, KeyRecoveryConfig{
+		ThiefFrac: 0.1, ThiefSeed: 7, MaxQueries: 150, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries > 150 {
+		t.Fatalf("query budget exceeded: %d", res.Queries)
+	}
+	if res.BitsTried == 0 || res.ThiefSamples == 0 {
+		t.Fatalf("attack did not run: %+v", res)
+	}
+	// Greedy hill climbing never decreases thief accuracy.
+	if res.ThiefAccEnd < res.ThiefAccStart {
+		t.Fatalf("thief accuracy decreased: %.3f -> %.3f", res.ThiefAccStart, res.ThiefAccEnd)
+	}
+	// With a budget far below the number of locked neurons, the attacker
+	// must not reach the owner's accuracy.
+	if res.TestAccEnd >= f.ownerAcc-0.02 {
+		t.Fatalf("budgeted key recovery reached owner accuracy: %.3f vs %.3f", res.TestAccEnd, f.ownerAcc)
+	}
+	t.Logf("key recovery: thief %.3f->%.3f, test %.3f->%.3f, flipped %d/%d (owner %.3f)",
+		res.ThiefAccStart, res.ThiefAccEnd, res.TestAccStart, res.TestAccEnd,
+		res.BitsFlipped, res.BitsTried, f.ownerAcc)
+}
+
+func TestRecoverLocksVictimUntouched(t *testing.T) {
+	f := getFixture(t)
+	before := f.victim.Accuracy(f.ds.TestX, f.ds.TestY, 64)
+	if _, err := RecoverLocks(f.victim, f.ds, KeyRecoveryConfig{
+		ThiefFrac: 0.05, ThiefSeed: 9, MaxQueries: 30, Seed: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if after := f.victim.Accuracy(f.ds.TestX, f.ds.TestY, 64); after != before {
+		t.Fatal("key-recovery attack mutated the victim")
+	}
+}
+
+func TestRecoverLocksValidation(t *testing.T) {
+	f := getFixture(t)
+	if _, err := RecoverLocks(f.victim, f.ds, KeyRecoveryConfig{ThiefFrac: 0}); err == nil {
+		t.Fatal("zero thief fraction accepted")
+	}
+	if _, err := RecoverLocks(f.victim, f.ds, KeyRecoveryConfig{ThiefFrac: 1.5}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"hpnn/internal/dataset"
+	"hpnn/internal/nn"
+	"hpnn/internal/tensor"
+)
+
+// TrainConfig controls a (key-dependent) training run. The same loop
+// serves owner training and attacker fine-tuning: the only difference is
+// the model's lock state and the data it sees.
+type TrainConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// LRDecayEvery/LRDecayFactor implement the step schedule used for the
+	// longer runs; 0 disables decay.
+	LRDecayEvery  int
+	LRDecayFactor float64
+	// ClipNorm caps the global gradient norm per step. 0 selects the
+	// default of 5 (which stabilizes high-LR momentum runs); negative
+	// values disable clipping.
+	ClipNorm float64
+	Seed     uint64
+	// Logf receives one line per epoch when non-nil.
+	Logf func(format string, args ...any)
+	// OnEpoch, when non-nil, runs after every epoch with the 0-based
+	// epoch index and the trajectory so far. Returning false stops
+	// training early — the hook point for checkpointing (pair it with
+	// modelio.SaveFile) and early stopping.
+	OnEpoch func(epoch int, r TrainResult) bool
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.LRDecayFactor == 0 {
+		c.LRDecayFactor = 0.5
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+	return c
+}
+
+// TrainResult records the per-epoch trajectory of a run — the raw series
+// behind the accuracy-vs-epoch curves of Figs. 5 and 6.
+type TrainResult struct {
+	EpochLoss []float64
+	// TestAcc holds per-epoch test accuracy when eval data was supplied.
+	TestAcc []float64
+	// FinalTrainAcc is the training accuracy after the last epoch.
+	FinalTrainAcc float64
+}
+
+// BestTestAcc returns the best per-epoch test accuracy (0 if none).
+func (r TrainResult) BestTestAcc() float64 {
+	best := 0.0
+	for _, a := range r.TestAcc {
+		if a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// FinalTestAcc returns the last epoch's test accuracy (0 if none).
+func (r TrainResult) FinalTestAcc() float64 {
+	if len(r.TestAcc) == 0 {
+		return 0
+	}
+	return r.TestAcc[len(r.TestAcc)-1]
+}
+
+// Train optimizes the model on (trainX, trainY) with softmax cross-entropy
+// and momentum SGD. If testX is non-nil the model is evaluated after every
+// epoch (eval mode, locks in their current state).
+func Train(m *Model, trainX *tensor.Tensor, trainY []int, testX *tensor.Tensor, testY []int, cfg TrainConfig) TrainResult {
+	cfg = cfg.withDefaults()
+	if trainX.Shape[0] != len(trainY) {
+		panic(fmt.Sprintf("hpnn: %d samples vs %d labels", trainX.Shape[0], len(trainY)))
+	}
+	opt := nn.NewMomentumSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	loss := nn.SoftmaxCrossEntropy{}
+	var res TrainResult
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.SetLR(nn.StepDecay(cfg.LR, epoch, cfg.LRDecayEvery, cfg.LRDecayFactor))
+		batches := dataset.Batches(trainX, trainY, cfg.BatchSize, cfg.Seed+uint64(epoch)*0x9e37+1)
+		epochLoss := 0.0
+		for _, b := range batches {
+			out := m.Net.Forward(b.X, true)
+			l, g := loss.Loss(out, b.Y)
+			epochLoss += l * float64(len(b.Y))
+			m.Net.Backward(g)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(m.Net.Params(), cfg.ClipNorm)
+			}
+			opt.Step(m.Net.Params())
+		}
+		epochLoss /= float64(len(trainY))
+		res.EpochLoss = append(res.EpochLoss, epochLoss)
+		if testX != nil {
+			acc := m.Accuracy(testX, testY, cfg.BatchSize)
+			res.TestAcc = append(res.TestAcc, acc)
+			if cfg.Logf != nil {
+				cfg.Logf("epoch %2d  loss %.4f  test acc %.4f", epoch+1, epochLoss, acc)
+			}
+		} else if cfg.Logf != nil {
+			cfg.Logf("epoch %2d  loss %.4f", epoch+1, epochLoss)
+		}
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, res) {
+			break
+		}
+	}
+	res.FinalTrainAcc = m.Accuracy(trainX, trainY, cfg.BatchSize)
+	return res
+}

@@ -1,0 +1,112 @@
+// Package cryptobase implements the cryptographic protection baseline the
+// paper argues against in §II: encrypting a model's weight parameters with
+// a provably-secure cipher before publication, with authorized users
+// decrypting at load time.
+//
+// The package exists to quantify the paper's qualitative claim that
+// encryption of millions of parameters is a heavyweight alternative to
+// HPNN's zero-cycle, 4096-gate locking: the hpnn-bench crypto experiment
+// measures AES-CTR encrypt/decrypt latency across model sizes and compares
+// it with the (free) lock path.
+package cryptobase
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// KeySize is the AES-256 key size in bytes.
+const KeySize = 32
+
+// EncryptParams encrypts a parameter vector with AES-256-CTR. The returned
+// ciphertext embeds the 16-byte IV as its prefix.
+func EncryptParams(params []float64, key []byte, iv []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cryptobase: %w", err)
+	}
+	if len(iv) != aes.BlockSize {
+		return nil, fmt.Errorf("cryptobase: IV must be %d bytes, got %d", aes.BlockSize, len(iv))
+	}
+	plain := make([]byte, 8*len(params))
+	for i, v := range params {
+		binary.LittleEndian.PutUint64(plain[8*i:], math.Float64bits(v))
+	}
+	out := make([]byte, aes.BlockSize+len(plain))
+	copy(out, iv)
+	cipher.NewCTR(block, iv).XORKeyStream(out[aes.BlockSize:], plain)
+	return out, nil
+}
+
+// DecryptParams reverses EncryptParams.
+func DecryptParams(ciphertext []byte, key []byte) ([]float64, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cryptobase: %w", err)
+	}
+	if len(ciphertext) < aes.BlockSize || (len(ciphertext)-aes.BlockSize)%8 != 0 {
+		return nil, fmt.Errorf("cryptobase: malformed ciphertext of %d bytes", len(ciphertext))
+	}
+	iv := ciphertext[:aes.BlockSize]
+	body := ciphertext[aes.BlockSize:]
+	plain := make([]byte, len(body))
+	cipher.NewCTR(block, iv).XORKeyStream(plain, body)
+	params := make([]float64, len(plain)/8)
+	for i := range params {
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(plain[8*i:]))
+	}
+	return params, nil
+}
+
+// OverheadReport compares the per-inference-session cost of the encryption
+// baseline against HPNN locking for a given parameter count.
+type OverheadReport struct {
+	Params int
+	Bytes  int
+	// Encrypt and Decrypt are the AES-256-CTR latencies. Decrypt is the
+	// cost every authorized load pays before the first inference.
+	Encrypt time.Duration
+	Decrypt time.Duration
+	// HPNNExtraCycles is the inference-time cycle overhead of HPNN's
+	// in-datapath locking (always 0) and HPNNExtraGates its area cost —
+	// the lightweight alternative's entire price.
+	HPNNExtraCycles uint64
+	HPNNExtraGates  uint64
+}
+
+// MeasureOverhead generates paramCount pseudo-parameters, encrypts and
+// decrypts them, and reports wall-clock costs alongside HPNN's constants.
+func MeasureOverhead(paramCount int, key []byte, iv []byte) (OverheadReport, error) {
+	params := make([]float64, paramCount)
+	for i := range params {
+		params[i] = float64(i%1000) * 1e-3
+	}
+	start := time.Now()
+	ct, err := EncryptParams(params, key, iv)
+	if err != nil {
+		return OverheadReport{}, err
+	}
+	encDur := time.Since(start)
+
+	start = time.Now()
+	back, err := DecryptParams(ct, key)
+	if err != nil {
+		return OverheadReport{}, err
+	}
+	decDur := time.Since(start)
+	if len(back) != paramCount {
+		return OverheadReport{}, fmt.Errorf("cryptobase: round-trip lost parameters")
+	}
+	return OverheadReport{
+		Params:          paramCount,
+		Bytes:           8 * paramCount,
+		Encrypt:         encDur,
+		Decrypt:         decDur,
+		HPNNExtraCycles: 0,
+		HPNNExtraGates:  4096, // 256 accumulators × 16 XOR gates
+	}, nil
+}

@@ -1,0 +1,122 @@
+package cryptobase
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hpnn/internal/rng"
+)
+
+func testKey() []byte {
+	k := make([]byte, KeySize)
+	for i := range k {
+		k[i] = byte(i * 7)
+	}
+	return k
+}
+
+func testIV() []byte {
+	iv := make([]byte, 16)
+	for i := range iv {
+		iv[i] = byte(255 - i)
+	}
+	return iv
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw % 2000)
+		params := make([]float64, n)
+		r := rng.New(seed)
+		for i := range params {
+			params[i] = r.Norm()
+		}
+		ct, err := EncryptParams(params, testKey(), testIV())
+		if err != nil {
+			return false
+		}
+		back, err := DecryptParams(ct, testKey())
+		if err != nil {
+			return false
+		}
+		if len(back) != n {
+			return false
+		}
+		for i := range params {
+			if params[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCiphertextHidesParams(t *testing.T) {
+	params := make([]float64, 256)
+	for i := range params {
+		params[i] = 1.0
+	}
+	ct, err := EncryptParams(params, testKey(), testIV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant plaintext must not yield repeating ciphertext blocks (CTR).
+	if bytes.Equal(ct[16:32], ct[32:48]) {
+		t.Fatal("identical plaintext blocks produced identical ciphertext blocks")
+	}
+}
+
+func TestWrongKeyGarbles(t *testing.T) {
+	params := []float64{1, 2, 3, 4}
+	ct, _ := EncryptParams(params, testKey(), testIV())
+	wrong := testKey()
+	wrong[0] ^= 0xFF
+	back, err := DecryptParams(ct, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range params {
+		if back[i] != params[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("wrong key decrypted correctly")
+	}
+}
+
+func TestBadInputsRejected(t *testing.T) {
+	if _, err := EncryptParams(nil, []byte("short"), testIV()); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := EncryptParams(nil, testKey(), []byte("short")); err == nil {
+		t.Fatal("short IV accepted")
+	}
+	if _, err := DecryptParams([]byte("tiny"), testKey()); err == nil {
+		t.Fatal("truncated ciphertext accepted")
+	}
+	if _, err := DecryptParams(make([]byte, 16+12), testKey()); err == nil {
+		t.Fatal("misaligned ciphertext accepted")
+	}
+}
+
+func TestMeasureOverhead(t *testing.T) {
+	rep, err := MeasureOverhead(10000, testKey(), testIV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Params != 10000 || rep.Bytes != 80000 {
+		t.Fatalf("report sizes wrong: %+v", rep)
+	}
+	if rep.Encrypt <= 0 || rep.Decrypt <= 0 {
+		t.Fatal("durations not measured")
+	}
+	if rep.HPNNExtraCycles != 0 || rep.HPNNExtraGates != 4096 {
+		t.Fatal("HPNN constants wrong")
+	}
+}

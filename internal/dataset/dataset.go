@@ -1,0 +1,212 @@
+// Package dataset provides the three synthetic image-classification
+// benchmarks the reproduction uses in place of Fashion-MNIST, CIFAR-10 and
+// SVHN (the build is offline; see DESIGN.md for the substitution argument).
+//
+// Each benchmark is a 10-class procedural generator with substantial
+// intra-class variation (random frequencies, phases, positions, colors,
+// per-sample noise), so that (a) the tasks are learnable to high accuracy
+// with the full training set and (b) small "thief" subsets generalize
+// measurably worse — the two properties the paper's experiments rely on.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// NumClasses is the class count of every benchmark (matching the paper's
+// datasets, all 10-way).
+const NumClasses = 10
+
+// Config selects and sizes a benchmark.
+type Config struct {
+	Name     string // "fashion", "cifar" or "svhn"
+	TrainN   int    // training samples (stratified across classes)
+	TestN    int    // test samples
+	H, W     int    // image size; 0 selects the dataset's native size
+	Seed     uint64
+	NoiseStd float64 // per-pixel Gaussian noise; 0 selects the default 0.12
+}
+
+// Dataset is a generated benchmark with train and test splits. Images are
+// stored as [N, C, H, W] tensors with values roughly in [-1, 1].
+type Dataset struct {
+	Name    string
+	C, H, W int
+	Classes int
+
+	TrainX *tensor.Tensor
+	TrainY []int
+	TestX  *tensor.Tensor
+	TestY  []int
+}
+
+// Generate builds a benchmark from cfg. Generation is deterministic in
+// cfg.Seed; train and test are drawn from the same distribution with
+// disjoint random streams.
+func Generate(cfg Config) (*Dataset, error) {
+	gen, c, nativeH, nativeW, err := lookupGenerator(cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	h, w := cfg.H, cfg.W
+	if h == 0 {
+		h = nativeH
+	}
+	if w == 0 {
+		w = nativeW
+	}
+	if h < 8 || w < 8 {
+		return nil, fmt.Errorf("dataset: image size %dx%d too small (min 8x8)", h, w)
+	}
+	if cfg.TrainN <= 0 || cfg.TestN <= 0 {
+		return nil, fmt.Errorf("dataset: non-positive split sizes %d/%d", cfg.TrainN, cfg.TestN)
+	}
+	noise := cfg.NoiseStd
+	if noise == 0 {
+		noise = 0.12
+	}
+	d := &Dataset{Name: cfg.Name, C: c, H: h, W: w, Classes: NumClasses}
+	base := rng.New(cfg.Seed)
+	d.TrainX, d.TrainY = synth(gen, base.Fork(1), cfg.TrainN, c, h, w, noise)
+	d.TestX, d.TestY = synth(gen, base.Fork(2), cfg.TestN, c, h, w, noise)
+	return d, nil
+}
+
+// generator renders one sample of class label into img ([C,H,W], zeroed).
+type generator func(img *tensor.Tensor, label int, r *rng.Rand)
+
+func lookupGenerator(name string) (generator, int, int, int, error) {
+	switch name {
+	case "fashion":
+		return genFashion, 1, 28, 28, nil
+	case "cifar":
+		return genCifar, 3, 32, 32, nil
+	case "svhn":
+		return genSVHN, 3, 32, 32, nil
+	default:
+		return nil, 0, 0, 0, fmt.Errorf("dataset: unknown benchmark %q (want fashion, cifar or svhn)", name)
+	}
+}
+
+// Names lists the available benchmarks.
+func Names() []string { return []string{"fashion", "cifar", "svhn"} }
+
+func synth(gen generator, r *rng.Rand, n, c, h, w int, noise float64) (*tensor.Tensor, []int) {
+	x := tensor.New(n, c, h, w)
+	y := make([]int, n)
+	feat := c * h * w
+	for i := 0; i < n; i++ {
+		label := i % NumClasses // stratified
+		y[i] = label
+		img := tensor.FromSlice(x.Data[i*feat:(i+1)*feat], c, h, w)
+		gen(img, label, r.Fork(uint64(i)*2+3))
+		postprocess(img, r.Fork(uint64(i)*2+4), noise)
+	}
+	// Shuffle samples so batches are class-mixed.
+	perm := r.Fork(1).Perm(n)
+	xs := tensor.New(n, c, h, w)
+	ys := make([]int, n)
+	for to, from := range perm {
+		copy(xs.Data[to*feat:(to+1)*feat], x.Data[from*feat:(from+1)*feat])
+		ys[to] = y[from]
+	}
+	return xs, ys
+}
+
+// postprocess applies per-sample brightness/contrast jitter, additive noise
+// and recentering to ~[-1, 1].
+func postprocess(img *tensor.Tensor, r *rng.Rand, noise float64) {
+	contrast := r.Range(0.85, 1.15)
+	brightness := r.Range(-0.08, 0.08)
+	for i, v := range img.Data {
+		v = (v-0.5)*contrast + 0.5 + brightness + noise*r.Norm()
+		img.Data[i] = 2*v - 1
+	}
+}
+
+// InputShape returns the per-sample [C, H, W] dimensions.
+func (d *Dataset) InputShape() (int, int, int) { return d.C, d.H, d.W }
+
+// ThiefSubset returns a stratified random subsample of the training split
+// containing frac of it (at least one sample per class when frac > 0) —
+// the attacker's thief dataset of §IV-B. frac = 0 returns an empty subset.
+func (d *Dataset) ThiefSubset(frac float64, seed uint64) (*tensor.Tensor, []int) {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("dataset: thief fraction %v out of [0,1]", frac))
+	}
+	feat := d.C * d.H * d.W
+	if frac == 0 {
+		return tensor.New(0, d.C, d.H, d.W), nil
+	}
+	// Group train indices by class.
+	byClass := make([][]int, d.Classes)
+	for i, y := range d.TrainY {
+		byClass[y] = append(byClass[y], i)
+	}
+	r := rng.New(seed)
+	var picked []int
+	for cls := 0; cls < d.Classes; cls++ {
+		idx := byClass[cls]
+		want := int(float64(len(idx))*frac + 0.5)
+		if want == 0 && len(idx) > 0 {
+			want = 1
+		}
+		perm := r.Perm(len(idx))
+		for _, p := range perm[:want] {
+			picked = append(picked, idx[p])
+		}
+	}
+	sort.Ints(picked)
+	x := tensor.New(len(picked), d.C, d.H, d.W)
+	y := make([]int, len(picked))
+	for to, from := range picked {
+		copy(x.Data[to*feat:(to+1)*feat], d.TrainX.Data[from*feat:(from+1)*feat])
+		y[to] = d.TrainY[from]
+	}
+	return x, y
+}
+
+// Batch is one training minibatch.
+type Batch struct {
+	X *tensor.Tensor
+	Y []int
+}
+
+// Batches splits (x, y) into shuffled minibatches (the final short batch is
+// kept). A zero seed still shuffles deterministically.
+func Batches(x *tensor.Tensor, y []int, batchSize int, seed uint64) []Batch {
+	n := x.Shape[0]
+	if batchSize <= 0 {
+		panic("dataset: non-positive batch size")
+	}
+	feat := x.Len() / max(n, 1)
+	perm := rng.New(seed).Perm(n)
+	var out []Batch
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		shape := append([]int{hi - lo}, x.Shape[1:]...)
+		bx := tensor.New(shape...)
+		by := make([]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			from := perm[i]
+			copy(bx.Data[(i-lo)*feat:(i-lo+1)*feat], x.Data[from*feat:(from+1)*feat])
+			by[i-lo] = y[from]
+		}
+		out = append(out, Batch{X: bx, Y: by})
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,326 @@
+package dataset
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"testing"
+
+	"hpnn/internal/tensor"
+)
+
+func gen(t *testing.T, name string, trainN, testN int) *Dataset {
+	t.Helper()
+	d, err := Generate(Config{Name: name, TrainN: trainN, TestN: testN, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		c, h, w int
+	}{
+		{"fashion", 1, 28, 28},
+		{"cifar", 3, 32, 32},
+		{"svhn", 3, 32, 32},
+	}
+	for _, tc := range cases {
+		d := gen(t, tc.name, 50, 20)
+		if d.C != tc.c || d.H != tc.h || d.W != tc.w {
+			t.Fatalf("%s native size %dx%dx%d, want %dx%dx%d", tc.name, d.C, d.H, d.W, tc.c, tc.h, tc.w)
+		}
+		if d.TrainX.Shape[0] != 50 || d.TestX.Shape[0] != 20 {
+			t.Fatalf("%s split sizes wrong", tc.name)
+		}
+		if len(d.TrainY) != 50 || len(d.TestY) != 20 {
+			t.Fatalf("%s label counts wrong", tc.name)
+		}
+	}
+}
+
+func TestGenerateCustomResolution(t *testing.T) {
+	d, err := Generate(Config{Name: "fashion", TrainN: 20, TestN: 10, H: 16, W: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.H != 16 || d.W != 16 {
+		t.Fatal("custom resolution ignored")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Name: "mnist", TrainN: 10, TestN: 10}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := Generate(Config{Name: "fashion", TrainN: 0, TestN: 10}); err == nil {
+		t.Fatal("zero train size accepted")
+	}
+	if _, err := Generate(Config{Name: "fashion", TrainN: 10, TestN: 10, H: 4, W: 4}); err == nil {
+		t.Fatal("tiny resolution accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := gen(t, "cifar", 30, 10)
+	b := gen(t, "cifar", 30, 10)
+	if !tensor.Equal(a.TrainX, b.TrainX, 0) {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range a.TrainY {
+		if a.TrainY[i] != b.TrainY[i] {
+			t.Fatal("labels not deterministic")
+		}
+	}
+}
+
+func TestSeedsChangeData(t *testing.T) {
+	a, _ := Generate(Config{Name: "fashion", TrainN: 20, TestN: 5, Seed: 1})
+	b, _ := Generate(Config{Name: "fashion", TrainN: 20, TestN: 5, Seed: 2})
+	if tensor.Equal(a.TrainX, b.TrainX, 1e-9) {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestLabelsStratified(t *testing.T) {
+	for _, name := range Names() {
+		d := gen(t, name, 100, 50)
+		counts := make([]int, NumClasses)
+		for _, y := range d.TrainY {
+			counts[y]++
+		}
+		for cls, c := range counts {
+			if c != 10 {
+				t.Fatalf("%s class %d has %d/100 train samples", name, cls, c)
+			}
+		}
+	}
+}
+
+func TestPixelRangeSane(t *testing.T) {
+	for _, name := range Names() {
+		d := gen(t, name, 30, 10)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range d.TrainX.Data {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if lo < -3 || hi > 3 {
+			t.Fatalf("%s pixel range [%v, %v] out of expected bounds", name, lo, hi)
+		}
+		if hi-lo < 0.5 {
+			t.Fatalf("%s images have almost no dynamic range", name)
+		}
+	}
+}
+
+func TestTrainTestDisjointStreams(t *testing.T) {
+	d := gen(t, "fashion", 20, 20)
+	// The first train and first test image should differ (independent
+	// random streams even with equal sizes).
+	feat := d.C * d.H * d.W
+	same := true
+	for i := 0; i < feat; i++ {
+		if d.TrainX.Data[i] != d.TestX.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("train and test streams identical")
+	}
+}
+
+func TestClassesVisuallyDistinct(t *testing.T) {
+	// Mean images of different classes should differ substantially more
+	// than mean images of the same class across two disjoint halves —
+	// a cheap separability check on each generator.
+	for _, name := range Names() {
+		d := gen(t, name, 400, 10)
+		feat := d.C * d.H * d.W
+		means := make([][]float64, NumClasses)
+		counts := make([]int, NumClasses)
+		for i := range means {
+			means[i] = make([]float64, feat)
+		}
+		for i, y := range d.TrainY {
+			for j := 0; j < feat; j++ {
+				means[y][j] += d.TrainX.Data[i*feat+j]
+			}
+			counts[y]++
+		}
+		for cls := range means {
+			for j := range means[cls] {
+				means[cls][j] /= float64(counts[cls])
+			}
+		}
+		minDist := math.Inf(1)
+		for a := 0; a < NumClasses; a++ {
+			for b := a + 1; b < NumClasses; b++ {
+				dist := 0.0
+				for j := 0; j < feat; j++ {
+					dd := means[a][j] - means[b][j]
+					dist += dd * dd
+				}
+				minDist = math.Min(minDist, math.Sqrt(dist/float64(feat)))
+			}
+		}
+		if minDist < 0.02 {
+			t.Fatalf("%s: two classes have nearly identical mean images (rms %v)", name, minDist)
+		}
+	}
+}
+
+func TestThiefSubsetFractions(t *testing.T) {
+	d := gen(t, "fashion", 200, 20)
+	for _, frac := range []float64{0.01, 0.05, 0.1, 0.5, 1.0} {
+		x, y := d.ThiefSubset(frac, 3)
+		want := int(float64(20)*frac + 0.5) // per class, 20 samples each
+		if want == 0 {
+			want = 1
+		}
+		if len(y) != want*NumClasses {
+			t.Fatalf("frac %v: got %d samples, want %d", frac, len(y), want*NumClasses)
+		}
+		if x.Shape[0] != len(y) {
+			t.Fatal("thief tensor/label mismatch")
+		}
+		counts := make([]int, NumClasses)
+		for _, v := range y {
+			counts[v]++
+		}
+		for cls, c := range counts {
+			if c != want {
+				t.Fatalf("frac %v class %d: %d samples, want %d (stratification broken)", frac, cls, c, want)
+			}
+		}
+	}
+}
+
+func TestThiefSubsetZeroAndBounds(t *testing.T) {
+	d := gen(t, "fashion", 50, 10)
+	x, y := d.ThiefSubset(0, 1)
+	if x.Shape[0] != 0 || y != nil {
+		t.Fatal("zero-fraction thief subset should be empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ThiefSubset(1.5) did not panic")
+		}
+	}()
+	d.ThiefSubset(1.5, 1)
+}
+
+func TestThiefSubsetDeterministicAndSeeded(t *testing.T) {
+	d := gen(t, "svhn", 100, 10)
+	x1, _ := d.ThiefSubset(0.2, 5)
+	x2, _ := d.ThiefSubset(0.2, 5)
+	if !tensor.Equal(x1, x2, 0) {
+		t.Fatal("thief subset not deterministic")
+	}
+	x3, _ := d.ThiefSubset(0.2, 6)
+	if tensor.Equal(x1, x3, 1e-12) {
+		t.Fatal("different thief seeds should pick different samples")
+	}
+}
+
+func TestBatchesPartitionData(t *testing.T) {
+	d := gen(t, "fashion", 53, 10)
+	batches := Batches(d.TrainX, d.TrainY, 16, 9)
+	if len(batches) != 4 {
+		t.Fatalf("expected 4 batches for 53/16, got %d", len(batches))
+	}
+	total := 0
+	classTotal := 0
+	for _, b := range batches {
+		total += len(b.Y)
+		if b.X.Shape[0] != len(b.Y) {
+			t.Fatal("batch tensor/label mismatch")
+		}
+		for _, y := range b.Y {
+			classTotal += y
+		}
+	}
+	if total != 53 {
+		t.Fatalf("batches cover %d samples, want 53", total)
+	}
+	wantSum := 0
+	for _, y := range d.TrainY {
+		wantSum += y
+	}
+	if classTotal != wantSum {
+		t.Fatal("batch label multiset differs from dataset labels")
+	}
+}
+
+func TestBatchesShuffleBySeed(t *testing.T) {
+	d := gen(t, "fashion", 64, 10)
+	a := Batches(d.TrainX, d.TrainY, 32, 1)
+	b := Batches(d.TrainX, d.TrainY, 32, 2)
+	if tensor.Equal(a[0].X, b[0].X, 1e-12) {
+		t.Fatal("different batch seeds should reorder samples")
+	}
+}
+
+func TestDrawDigitClipping(t *testing.T) {
+	img := tensor.New(3, 16, 16)
+	// Entirely off-image draws must not panic or write.
+	drawDigit(img, 5, -100, -100, 2, [3]float64{1, 1, 1}, 1)
+	if img.Sum() != 0 {
+		t.Fatal("off-image digit wrote pixels")
+	}
+	drawDigit(img, 8, 2, 2, 1, [3]float64{1, 1, 1}, 1)
+	if img.Sum() == 0 {
+		t.Fatal("on-image digit wrote nothing")
+	}
+}
+
+func TestToImage(t *testing.T) {
+	d := gen(t, "cifar", 20, 5)
+	s, label := d.Sample(0)
+	if label != d.TrainY[0] {
+		t.Fatal("Sample label mismatch")
+	}
+	img, err := ToImage(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != d.W || img.Bounds().Dy() != d.H {
+		t.Fatalf("image bounds %v", img.Bounds())
+	}
+	// Grayscale path.
+	f := gen(t, "fashion", 10, 5)
+	sf, _ := f.Sample(0)
+	if _, err := ToImage(sf); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid shapes rejected.
+	if _, err := ToImage(tensor.New(2, 4, 4)); err == nil {
+		t.Fatal("2-channel sample accepted")
+	}
+	if _, err := ToImage(tensor.New(4)); err == nil {
+		t.Fatal("flat sample accepted")
+	}
+}
+
+func TestWriteContactSheet(t *testing.T) {
+	d := gen(t, "svhn", 40, 5)
+	var buf bytes.Buffer
+	if err := d.WriteContactSheet(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("contact sheet is not valid PNG: %v", err)
+	}
+	wantW := 3*(d.W+2) + 2
+	wantH := d.Classes*(d.H+2) + 2
+	if img.Bounds().Dx() != wantW || img.Bounds().Dy() != wantH {
+		t.Fatalf("sheet size %v, want %dx%d", img.Bounds(), wantW, wantH)
+	}
+	if err := d.WriteContactSheet(&buf, 0); err == nil {
+		t.Fatal("perClass=0 accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"hpnn/internal/tensor"
+)
+
+// ToImage converts one sample ([C,H,W], values ≈ [-1,1]) to an image.
+// Single-channel samples render as grayscale, three-channel as RGB.
+func ToImage(sample *tensor.Tensor) (image.Image, error) {
+	if len(sample.Shape) != 3 {
+		return nil, fmt.Errorf("dataset: sample shape %v is not [C,H,W]", sample.Shape)
+	}
+	c, h, w := sample.Shape[0], sample.Shape[1], sample.Shape[2]
+	if c != 1 && c != 3 {
+		return nil, fmt.Errorf("dataset: %d channels not renderable (want 1 or 3)", c)
+	}
+	pix := h * w
+	to8 := func(v float64) uint8 {
+		x := (v + 1) / 2 * 255
+		if x < 0 {
+			x = 0
+		}
+		if x > 255 {
+			x = 255
+		}
+		return uint8(x)
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b uint8
+			if c == 1 {
+				v := to8(sample.Data[y*w+x])
+				r, g, b = v, v, v
+			} else {
+				r = to8(sample.Data[0*pix+y*w+x])
+				g = to8(sample.Data[1*pix+y*w+x])
+				b = to8(sample.Data[2*pix+y*w+x])
+			}
+			img.Set(x, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	return img, nil
+}
+
+// Sample returns the i-th training sample as a standalone [C,H,W] view.
+func (d *Dataset) Sample(i int) (*tensor.Tensor, int) {
+	feat := d.C * d.H * d.W
+	return tensor.FromSlice(d.TrainX.Data[i*feat:(i+1)*feat], d.C, d.H, d.W), d.TrainY[i]
+}
+
+// WriteContactSheet renders a grid with one row per class and perClass
+// columns of training samples, PNG-encoded to w — a quick visual check of
+// what each synthetic benchmark looks like.
+func (d *Dataset) WriteContactSheet(w io.Writer, perClass int) error {
+	if perClass <= 0 {
+		return fmt.Errorf("dataset: perClass must be positive")
+	}
+	const gap = 2
+	sheetW := perClass*(d.W+gap) + gap
+	sheetH := d.Classes*(d.H+gap) + gap
+	sheet := image.NewRGBA(image.Rect(0, 0, sheetW, sheetH))
+	for y := 0; y < sheetH; y++ {
+		for x := 0; x < sheetW; x++ {
+			sheet.Set(x, y, color.RGBA{R: 30, G: 30, B: 30, A: 255})
+		}
+	}
+	counts := make([]int, d.Classes)
+	for i := range d.TrainY {
+		s, label := d.Sample(i)
+		if counts[label] >= perClass {
+			continue
+		}
+		img, err := ToImage(s)
+		if err != nil {
+			return err
+		}
+		ox := gap + counts[label]*(d.W+gap)
+		oy := gap + label*(d.H+gap)
+		for y := 0; y < d.H; y++ {
+			for x := 0; x < d.W; x++ {
+				sheet.Set(ox+x, oy+y, img.At(x, y))
+			}
+		}
+		counts[label]++
+	}
+	return png.Encode(w, sheet)
+}

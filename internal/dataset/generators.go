@@ -1,0 +1,324 @@
+package dataset
+
+import (
+	"math"
+
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// --- mask primitives -------------------------------------------------------
+//
+// A mask is a pattern intensity field m(u, v) ∈ [0, 1] over normalized image
+// coordinates. The fashion benchmark renders masks directly as grayscale;
+// the cifar benchmark blends a foreground color over a background with the
+// mask as the mixing weight.
+
+type mask func(u, v float64) float64
+
+func stripes(freq, phase, cu, cv float64) mask {
+	return func(u, v float64) float64 {
+		return 0.5 + 0.5*math.Sin(2*math.Pi*(freq*(cu*u+cv*v)+phase))
+	}
+}
+
+func checker(freq, p1, p2 float64) mask {
+	return func(u, v float64) float64 {
+		return 0.5 + 0.5*math.Sin(2*math.Pi*(freq*u+p1))*math.Sin(2*math.Pi*(freq*v+p2))
+	}
+}
+
+func disk(cx, cy, radius, edge float64) mask {
+	return func(u, v float64) float64 {
+		d := math.Hypot(u-cx, v-cy)
+		return smoothstep(radius+edge, radius-edge, d)
+	}
+}
+
+func ring(cx, cy, radius, thickness, edge float64) mask {
+	return func(u, v float64) float64 {
+		d := math.Abs(math.Hypot(u-cx, v-cy) - radius)
+		return smoothstep(thickness+edge, thickness-edge, d)
+	}
+}
+
+func cross(cx, cy, width float64) mask {
+	return func(u, v float64) float64 {
+		h := smoothstep(width+0.03, width-0.03, math.Abs(v-cy))
+		vr := smoothstep(width+0.03, width-0.03, math.Abs(u-cx))
+		return math.Max(h, vr)
+	}
+}
+
+func diagX(cx, cy, width float64) mask {
+	return func(u, v float64) float64 {
+		d1 := math.Abs((u - cx) - (v - cy))
+		d2 := math.Abs((u - cx) + (v - cy))
+		return math.Max(
+			smoothstep(width+0.04, width-0.04, d1),
+			smoothstep(width+0.04, width-0.04, d2))
+	}
+}
+
+func blobs(r *rng.Rand, count int) mask {
+	type bump struct{ x, y, s float64 }
+	bs := make([]bump, count)
+	for i := range bs {
+		bs[i] = bump{x: r.Range(0.15, 0.85), y: r.Range(0.15, 0.85), s: r.Range(0.06, 0.13)}
+	}
+	return func(u, v float64) float64 {
+		s := 0.0
+		for _, b := range bs {
+			d2 := (u-b.x)*(u-b.x) + (v-b.y)*(v-b.y)
+			s += math.Exp(-d2 / (2 * b.s * b.s))
+		}
+		return math.Min(s, 1)
+	}
+}
+
+func frame(margin, thickness float64) mask {
+	return func(u, v float64) float64 {
+		d := math.Min(math.Min(u, 1-u), math.Min(v, 1-v))
+		return smoothstep(thickness+0.03, thickness-0.03, math.Abs(d-margin))
+	}
+}
+
+func gradientMask(angle float64) mask {
+	dx, dy := math.Cos(angle), math.Sin(angle)
+	return func(u, v float64) float64 {
+		t := ((u-0.5)*dx + (v-0.5)*dy) + 0.5
+		return clamp01(t)
+	}
+}
+
+// smoothstep falls from 1 to 0 as x goes from lo to hi (lo > hi allowed:
+// arguments are (outer, inner) distances).
+func smoothstep(outer, inner, x float64) float64 {
+	if outer == inner {
+		if x < inner {
+			return 1
+		}
+		return 0
+	}
+	t := clamp01((outer - x) / (outer - inner))
+	return t * t * (3 - 2*t)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return 0 + x
+}
+
+// classMask builds the randomized pattern for a class; shared by the
+// fashion and cifar benchmarks.
+func classMask(label int, r *rng.Rand) mask {
+	switch label {
+	case 0:
+		return stripes(r.Range(2, 4.5), r.Float64(), 0, 1) // horizontal
+	case 1:
+		return stripes(r.Range(2, 4.5), r.Float64(), 1, 0) // vertical
+	case 2:
+		return stripes(r.Range(1.5, 3.5), r.Float64(), 0.7071, 0.7071) // diagonal
+	case 3:
+		return checker(r.Range(1.5, 3), r.Float64(), r.Float64())
+	case 4:
+		return disk(r.Range(0.35, 0.65), r.Range(0.35, 0.65), r.Range(0.18, 0.32), 0.05)
+	case 5:
+		return ring(r.Range(0.4, 0.6), r.Range(0.4, 0.6), r.Range(0.22, 0.34), r.Range(0.05, 0.09), 0.03)
+	case 6:
+		return cross(r.Range(0.3, 0.7), r.Range(0.3, 0.7), r.Range(0.07, 0.13))
+	case 7:
+		return diagX(r.Range(0.4, 0.6), r.Range(0.4, 0.6), r.Range(0.06, 0.11))
+	case 8:
+		return blobs(r, 3+r.Intn(4))
+	case 9:
+		return frame(r.Range(0.08, 0.2), r.Range(0.04, 0.08))
+	default:
+		panic("dataset: label out of range")
+	}
+}
+
+// --- fashion: grayscale textures -------------------------------------------
+
+func genFashion(img *tensor.Tensor, label int, r *rng.Rand) {
+	h, w := img.Shape[1], img.Shape[2]
+	m := classMask(label, r)
+	lo := r.Range(0.0, 0.22)
+	hi := r.Range(0.78, 1.0)
+	for y := 0; y < h; y++ {
+		v := float64(y) / float64(h-1)
+		for x := 0; x < w; x++ {
+			u := float64(x) / float64(w-1)
+			img.Data[y*w+x] = lo + (hi-lo)*m(u, v)
+		}
+	}
+}
+
+// --- cifar: colored patterns -----------------------------------------------
+
+// classHues fixes a base foreground color per class; samples jitter around
+// it. Classes 0 and 1 use gradients rather than binary masks to widen the
+// pattern family mix.
+var classHues = [NumClasses][3]float64{
+	{0.9, 0.15, 0.15}, // red
+	{0.15, 0.85, 0.2}, // green
+	{0.2, 0.3, 0.95},  // blue
+	{0.95, 0.9, 0.15}, // yellow
+	{0.9, 0.2, 0.85},  // magenta
+	{0.15, 0.85, 0.9}, // cyan
+	{0.95, 0.55, 0.1}, // orange
+	{0.55, 0.2, 0.85}, // purple
+	{0.15, 0.6, 0.55}, // teal
+	{0.85, 0.85, 0.9}, // near-white
+}
+
+func genCifar(img *tensor.Tensor, label int, r *rng.Rand) {
+	h, w := img.Shape[1], img.Shape[2]
+	var m mask
+	switch label {
+	case 0:
+		m = gradientMask(r.Range(-0.4, 0.4)) // roughly horizontal gradient
+	case 1:
+		m = gradientMask(math.Pi/2 + r.Range(-0.4, 0.4)) // roughly vertical
+	default:
+		m = classMask(label, r)
+	}
+	var fg, bg [3]float64
+	for c := 0; c < 3; c++ {
+		fg[c] = clamp01(classHues[label][c] + r.Range(-0.15, 0.15))
+		bg[c] = r.Range(0.05, 0.35)
+	}
+	pix := h * w
+	for y := 0; y < h; y++ {
+		v := float64(y) / float64(h-1)
+		for x := 0; x < w; x++ {
+			u := float64(x) / float64(w-1)
+			mv := m(u, v)
+			for c := 0; c < 3; c++ {
+				img.Data[c*pix+y*w+x] = bg[c] + mv*(fg[c]-bg[c])
+			}
+		}
+	}
+}
+
+// --- svhn: rendered digit scenes ---------------------------------------------
+
+// digitFont is a standard 5x7 bitmap font for 0-9; each entry is 7 rows of
+// 5 bits (MSB = leftmost pixel).
+var digitFont = [10][7]byte{
+	{0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110}, // 0
+	{0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110}, // 1
+	{0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111}, // 2
+	{0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110}, // 3
+	{0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010}, // 4
+	{0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110}, // 5
+	{0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110}, // 6
+	{0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000}, // 7
+	{0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110}, // 8
+	{0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100}, // 9
+}
+
+// jitter bounds the random offset of a glyph of size g inside an image of
+// size total, keeping the glyph fully visible.
+func jitter(total, g int) int {
+	j := (total - g) / 2
+	if j < 0 {
+		return 0
+	}
+	if j > 2 {
+		return 2
+	}
+	return j
+}
+
+// drawDigit paints digit d into img with top-left corner (x0, y0) and the
+// given glyph pixel size, alpha-blending color with strength alpha.
+// Off-image pixels are clipped (used for edge distractors).
+func drawDigit(img *tensor.Tensor, d, x0, y0, scale int, color [3]float64, alpha float64) {
+	c, h, w := img.Shape[0], img.Shape[1], img.Shape[2]
+	pix := h * w
+	for row := 0; row < 7; row++ {
+		bitsRow := digitFont[d][row]
+		for col := 0; col < 5; col++ {
+			if bitsRow&(1<<(4-col)) == 0 {
+				continue
+			}
+			for dy := 0; dy < scale; dy++ {
+				y := y0 + row*scale + dy
+				if y < 0 || y >= h {
+					continue
+				}
+				for dx := 0; dx < scale; dx++ {
+					x := x0 + col*scale + dx
+					if x < 0 || x >= w {
+						continue
+					}
+					for ch := 0; ch < c; ch++ {
+						i := ch*pix + y*w + x
+						img.Data[i] = (1-alpha)*img.Data[i] + alpha*color[ch]
+					}
+				}
+			}
+		}
+	}
+}
+
+func genSVHN(img *tensor.Tensor, label int, r *rng.Rand) {
+	h, w := img.Shape[1], img.Shape[2]
+	pix := h * w
+	// Background: dim random color with mild horizontal shading.
+	var bg [3]float64
+	for c := 0; c < 3; c++ {
+		bg[c] = r.Range(0.1, 0.4)
+	}
+	shade := r.Range(-0.1, 0.1)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			t := float64(x) / float64(w-1)
+			for c := 0; c < 3; c++ {
+				img.Data[c*pix+y*w+x] = clamp01(bg[c] + shade*(t-0.5))
+			}
+		}
+	}
+	// Foreground color: bright, with strong enforced contrast against the
+	// dim background so the digit dominates every channel.
+	var fg [3]float64
+	for {
+		d := 0.0
+		for c := 0; c < 3; c++ {
+			fg[c] = r.Range(0.55, 1.0)
+			d += math.Abs(fg[c] - bg[c])
+		}
+		if d > 1.2 {
+			break
+		}
+	}
+	// Occasional distractor digit fragment clipped at an edge, at reduced
+	// contrast (SVHN crops contain neighboring digits).
+	if r.Float64() < 0.3 {
+		dd := r.Intn(10)
+		ds := max(1, h/9)
+		dx := -3 * ds / 2
+		if r.Bool() {
+			dx = w - 5*ds + 3*ds/2
+		}
+		dy := r.Intn(max(1, h-7*ds+1))
+		var dc [3]float64
+		for c := 0; c < 3; c++ {
+			dc[c] = clamp01(fg[c] + r.Range(-0.3, 0.3))
+		}
+		drawDigit(img, dd, dx, dy, ds, dc, 0.35)
+	}
+	// Central digit: the glyph fills most of the crop (like SVHN's
+	// cropped-digit format), with small position jitter.
+	scale := max(1, int(float64(h)*r.Range(0.8, 0.99)/7))
+	gw, gh := 5*scale, 7*scale
+	x0 := (w-gw)/2 + r.Intn(2*jitter(w, gw)+1) - jitter(w, gw)
+	y0 := (h-gh)/2 + r.Intn(2*jitter(h, gh)+1) - jitter(h, gh)
+	drawDigit(img, label, x0, y0, scale, fg, 1)
+}

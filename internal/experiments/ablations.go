@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/nn"
+	"hpnn/internal/rng"
+	"hpnn/internal/schedule"
+)
+
+// Ablation studies for the design choices called out in DESIGN.md §5.
+// None of these appear in the paper; they probe how much each design knob
+// contributes to the obfuscation.
+
+// GranularityRow reports the no-key collapse when locks are programmed at
+// different granularities.
+type GranularityRow struct {
+	Granularity string
+	// DistinctBits is the number of independent lock decisions the
+	// granularity allows across the network.
+	DistinctBits int
+	OwnerAcc     float64
+	NoKeyAcc     float64
+}
+
+// AblationLockGranularity compares per-neuron locking (the paper's scheme,
+// via the 256-column schedule), per-channel locking (all spatial positions
+// of a feature map share one bit) and per-layer locking (a single bit flips
+// an entire layer).
+func AblationLockGranularity(p Profile, logf Logf) ([]GranularityRow, error) {
+	ds, err := makeDataset(p, "fashion", seedFor("fashion"))
+	if err != nil {
+		return nil, err
+	}
+	key := keys.Generate(rng.New(p.Seed + 300))
+	sched := schedule.New(keys.KeyBits, p.Seed+50)
+
+	grans := []string{"per-neuron", "per-channel", "per-layer"}
+	var rows []GranularityRow
+	for gi, g := range grans {
+		m, err := buildModel(p, core.CNN1, ds, uint64(300+gi))
+		if err != nil {
+			return nil, err
+		}
+		distinct := programGranularity(m, key, sched, g)
+		tr := core.Train(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, ownerTrain(p, nil))
+		row := GranularityRow{
+			Granularity:  g,
+			DistinctBits: distinct,
+			OwnerAcc:     tr.FinalTestAcc(),
+		}
+		m.DisengageLocks()
+		row.NoKeyAcc = m.Accuracy(ds.TestX, ds.TestY, 64)
+		m.EngageLocks()
+		rows = append(rows, row)
+		logf.printf("[ablation/granularity] %s: owner %.4f, no-key %.4f (%d distinct bits)",
+			g, row.OwnerAcc, row.NoKeyAcc, distinct)
+	}
+	return rows, nil
+}
+
+// programGranularity programs a model's locks at the requested granularity
+// and returns the number of independent bits used.
+func programGranularity(m *core.Model, key keys.Key, sched *schedule.Schedule, gran string) int {
+	distinct := 0
+	for li, l := range m.Locks() {
+		n := l.Neurons()
+		bits := make([]byte, n)
+		switch gran {
+		case "per-neuron":
+			cols := sched.Assign(l.ID, n)
+			for j, c := range cols {
+				bits[j] = key.Bit(c)
+			}
+			distinct += minInt(n, keys.KeyBits)
+		case "per-channel":
+			// The lock covers [C, H, W] flattened; CNN1's conv outputs
+			// have H·W pixels per channel. Use the schedule on channel
+			// indices so every pixel of a channel shares a bit. For
+			// dense locks (no spatial extent) this degrades to
+			// per-neuron.
+			channels, pix := channelsOf(m, li, n)
+			cols := sched.Assign(l.ID, channels)
+			for ch := 0; ch < channels; ch++ {
+				b := key.Bit(cols[ch])
+				for p := 0; p < pix; p++ {
+					bits[ch*pix+p] = b
+				}
+			}
+			distinct += minInt(channels, keys.KeyBits)
+		case "per-layer":
+			b := key.Bit(sched.Assign(l.ID, 1)[0])
+			for j := range bits {
+				bits[j] = b
+			}
+			distinct++
+		default:
+			panic(fmt.Sprintf("experiments: unknown granularity %q", gran))
+		}
+		l.SetBits(bits)
+		l.Engage()
+	}
+	return distinct
+}
+
+// channelsOf infers the channel count of the li-th lock from the preceding
+// convolution (sequential architectures: lock i follows conv i). Dense
+// locks fall back to per-neuron (pix = 1).
+func channelsOf(m *core.Model, li, neurons int) (channels, pix int) {
+	convs := 0
+	for _, l := range m.Net.Layers {
+		c, ok := l.(*nn.Conv2D)
+		if !ok {
+			continue
+		}
+		if convs == li && neurons%c.OutC == 0 {
+			return c.OutC, neurons / c.OutC
+		}
+		convs++
+	}
+	return neurons, 1
+}
+
+// LayerSubsetRow reports collapse when only a subset of lock layers is
+// active during training.
+type LayerSubsetRow struct {
+	Subset        string
+	LockedNeurons int
+	OwnerAcc      float64
+	NoKeyAcc      float64
+}
+
+// AblationLockedLayers trains CNN2 victims with locks active on (a) only
+// the first ReLU, (b) only the last ReLU, (c) all ReLUs, and measures the
+// collapse each provides.
+func AblationLockedLayers(p Profile, logf Logf) ([]LayerSubsetRow, error) {
+	ds, err := makeDataset(p, "fashion", seedFor("fashion"))
+	if err != nil {
+		return nil, err
+	}
+	key := keys.Generate(rng.New(p.Seed + 310))
+	sched := schedule.New(keys.KeyBits, p.Seed+50)
+
+	subsets := []string{"first-only", "last-only", "all"}
+	var rows []LayerSubsetRow
+	for si, subset := range subsets {
+		m, err := buildModel(p, core.CNN1, ds, uint64(310+si))
+		if err != nil {
+			return nil, err
+		}
+		m.ApplyRawKey(key, sched)
+		locks := m.Locks()
+		lockedNeurons := 0
+		for i, l := range locks {
+			use := subset == "all" ||
+				(subset == "first-only" && i == 0) ||
+				(subset == "last-only" && i == len(locks)-1)
+			if use {
+				lockedNeurons += l.Neurons()
+			} else {
+				// Zero bits = identity transform: layer effectively unlocked.
+				l.SetBits(make([]byte, l.Neurons()))
+			}
+		}
+		tr := core.Train(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, ownerTrain(p, nil))
+		row := LayerSubsetRow{Subset: subset, LockedNeurons: lockedNeurons, OwnerAcc: tr.FinalTestAcc()}
+		m.DisengageLocks()
+		row.NoKeyAcc = m.Accuracy(ds.TestX, ds.TestY, 64)
+		m.EngageLocks()
+		rows = append(rows, row)
+		logf.printf("[ablation/layers] %s: owner %.4f, no-key %.4f (%d locked neurons)",
+			subset, row.OwnerAcc, row.NoKeyAcc, lockedNeurons)
+	}
+	return rows, nil
+}
+
+// KeyDistanceRow reports accuracy under a key at Hamming distance D from
+// the true key.
+type KeyDistanceRow struct {
+	Distance int
+	Acc      float64
+}
+
+// AblationKeyDistance trains one victim and evaluates it under
+// progressively more wrong keys — does partial key knowledge help an
+// attacker? (Related to the paper's security argument that the key space
+// must be searched exhaustively.)
+func AblationKeyDistance(p Profile, logf Logf) ([]KeyDistanceRow, float64, error) {
+	v, err := trainVictim(p, "fashion", core.CNN1, logf)
+	if err != nil {
+		return nil, 0, err
+	}
+	distances := []int{0, 1, 4, 16, 64, 128, 192, 256}
+	var rows []KeyDistanceRow
+	for _, d := range distances {
+		flipped := v.Key.FlipRandomBits(rng.New(p.Seed+320+uint64(d)), d)
+		v.Model.ApplyRawKey(flipped, v.Sched)
+		acc := v.Model.Accuracy(v.Dataset.TestX, v.Dataset.TestY, 64)
+		rows = append(rows, KeyDistanceRow{Distance: d, Acc: acc})
+		logf.printf("[ablation/keydist] d=%3d: accuracy %.4f", d, acc)
+	}
+	// Restore the true key.
+	v.Model.ApplyRawKey(v.Key, v.Sched)
+	return rows, v.OwnerAcc, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

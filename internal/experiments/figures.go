@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpnn/internal/attack"
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/rng"
+	"hpnn/internal/schedule"
+	"hpnn/internal/stats"
+)
+
+// Fig3Result is the capacity study for one architecture: prediction
+// accuracies of models trained with many different HPNN keys, against the
+// conventionally trained baseline.
+type Fig3Result struct {
+	Arch        core.Arch
+	BaselineAcc float64
+	KeyAccs     []float64
+	Summary     stats.Summary
+}
+
+// Fig3 reproduces the model-capacity experiment of §III-C: the same
+// architecture and data trained under p.Fig3Keys random keys must perform
+// on par with the unlocked baseline.
+func Fig3(p Profile, logf Logf) ([]Fig3Result, error) {
+	ds, err := makeDataset(p, "fashion", seedFor("fashion"))
+	if err != nil {
+		return nil, err
+	}
+	sched := schedule.New(keys.KeyBits, p.Seed+50)
+	var out []Fig3Result
+	for _, arch := range []core.Arch{core.CNN1, core.ResNet18} {
+		res := Fig3Result{Arch: arch}
+		// Baseline: conventional training of the baseline architecture
+		// (all lock bits zero — lock factors +1 everywhere).
+		base, err := buildModel(p, arch, ds, 0)
+		if err != nil {
+			return nil, err
+		}
+		tr := core.Train(base, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, ownerTrain(p, nil))
+		res.BaselineAcc = tr.FinalTestAcc()
+		logf.printf("[fig3/%s] baseline accuracy %.4f", arch, res.BaselineAcc)
+
+		for k := 0; k < p.Fig3Keys; k++ {
+			m, err := buildModel(p, arch, ds, uint64(k))
+			if err != nil {
+				return nil, err
+			}
+			m.ApplyRawKey(keys.Generate(rng.New(p.Seed+200+uint64(k))), sched)
+			tr := core.Train(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, ownerTrain(p, nil))
+			res.KeyAccs = append(res.KeyAccs, tr.FinalTestAcc())
+			logf.printf("[fig3/%s] key %2d accuracy %.4f", arch, k+1, tr.FinalTestAcc())
+		}
+		res.Summary = stats.Summarize(res.KeyAccs)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Curve is one accuracy-vs-epoch trajectory.
+type Curve struct {
+	Label string
+	Acc   []float64
+}
+
+// CurveSet is a family of trajectories for one (dataset, architecture)
+// pair, with the owner's accuracy as the reference line.
+type CurveSet struct {
+	Dataset  string
+	Arch     core.Arch
+	OwnerAcc float64
+	Curves   []Curve
+}
+
+// Fig5Alphas are the thief-dataset fractions of Fig. 5.
+var Fig5Alphas = []float64{0.01, 0.02, 0.03, 0.05, 0.10}
+
+// Fig5 reproduces the thief-dataset-size study: HPNN fine-tuning curves
+// for α ∈ {1..10 %} on Fashion-MNIST-like data, for CNN1 and ResNet18.
+func Fig5(p Profile, logf Logf) ([]CurveSet, error) {
+	var out []CurveSet
+	for _, arch := range []core.Arch{core.CNN1, core.ResNet18} {
+		v, err := trainVictim(p, "fashion", arch, logf)
+		if err != nil {
+			return nil, err
+		}
+		set := CurveSet{Dataset: "fashion", Arch: arch, OwnerAcc: v.OwnerAcc}
+		for i, a := range Fig5Alphas {
+			r, err := v.fineTune(p, attack.InitStolen, a, uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			set.Curves = append(set.Curves, Curve{
+				Label: fmt.Sprintf("α=%g%%", a*100),
+				Acc:   r.TestAcc,
+			})
+			logf.printf("[fig5/%s] α=%g%% final %.4f (owner %.4f)", arch, a*100, r.FinalAcc, v.OwnerAcc)
+		}
+		out = append(out, set)
+	}
+	return out, nil
+}
+
+// Fig6LRs are the learning rates swept in Fig. 6.
+var Fig6LRs = []float64{0.05, 0.01, 0.005, 0.001}
+
+// Fig6 reproduces the hyperparameter study: fine-tuning trajectories at
+// several learning rates with α = 10 %, on (fashion, CNN1) and
+// (cifar, CNN2).
+func Fig6(p Profile, logf Logf) ([]CurveSet, error) {
+	pairs := []struct {
+		ds   string
+		arch core.Arch
+	}{
+		{"fashion", core.CNN1},
+		{"cifar", core.CNN2},
+	}
+	var out []CurveSet
+	for _, pair := range pairs {
+		v, err := trainVictim(p, pair.ds, pair.arch, logf)
+		if err != nil {
+			return nil, err
+		}
+		set := CurveSet{Dataset: pair.ds, Arch: pair.arch, OwnerAcc: v.OwnerAcc}
+		results, err := attack.SweepLearningRates(v.Model, v.Dataset, Fig6LRs, attack.FineTuneConfig{
+			ThiefFrac:    0.10,
+			ThiefSeed:    p.Seed + 81,
+			Init:         attack.InitStolen,
+			AttackerSeed: p.Seed + 82,
+			Train:        ftTrain(p),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			set.Curves = append(set.Curves, Curve{
+				Label: fmt.Sprintf("lr=%g", Fig6LRs[i]),
+				Acc:   r.TestAcc,
+			})
+			logf.printf("[fig6/%s] lr=%g final %.4f", pair.ds, Fig6LRs[i], r.FinalAcc)
+		}
+		out = append(out, set)
+	}
+	return out, nil
+}
+
+// Fig7Alphas are the thief fractions of Fig. 7 (α = 0 is the no-data case).
+var Fig7Alphas = []float64{0, 0.01, 0.02, 0.03, 0.05, 0.10}
+
+// Fig7Result compares random- and HPNN-initialized fine-tuning across
+// thief fractions for one dataset.
+type Fig7Result struct {
+	Dataset  string
+	Arch     core.Arch
+	OwnerAcc float64
+	Alphas   []float64
+	HPNNFT   []float64
+	RandomFT []float64
+}
+
+// Fig7 reproduces the information-leakage study of §IV-C across all three
+// benchmarks.
+func Fig7(p Profile, logf Logf) ([]Fig7Result, error) {
+	var out []Fig7Result
+	for _, b := range benchmarks {
+		v, err := trainVictim(p, b.Dataset, b.Arch, logf)
+		if err != nil {
+			return nil, err
+		}
+		res := Fig7Result{Dataset: b.Dataset, Arch: b.Arch, OwnerAcc: v.OwnerAcc, Alphas: Fig7Alphas}
+		for i, a := range Fig7Alphas {
+			h, err := v.fineTune(p, attack.InitStolen, a, uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			r, err := v.fineTune(p, attack.InitRandom, a, uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			res.HPNNFT = append(res.HPNNFT, h.FinalAcc)
+			res.RandomFT = append(res.RandomFT, r.FinalAcc)
+			logf.printf("[fig7/%s] α=%g%%: hpnn-ft %.4f, random-ft %.4f", b.Dataset, a*100, h.FinalAcc, r.FinalAcc)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

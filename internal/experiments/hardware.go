@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"hpnn/internal/core"
+	"hpnn/internal/cryptobase"
+	"hpnn/internal/dataset"
+	"hpnn/internal/keys"
+	"hpnn/internal/modelio"
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+	"hpnn/internal/tpu"
+)
+
+// HardwareResult reproduces the §III-D analysis (Fig. 4): the gate-count /
+// area / cycle overhead of the key-dependent accumulator, plus end-to-end
+// accuracy of a locked model on the simulated device under the four key
+// scenarios.
+type HardwareResult struct {
+	Report tpu.GateReport
+
+	// Cycle counts for the same inference workload with and without the
+	// HPNN key device attached — equal by construction (zero overhead).
+	CyclesPlain, CyclesLocked uint64
+
+	// End-to-end accuracies: float reference (key engaged in software),
+	// trusted device (correct key), commodity device (no key), pirate
+	// device (wrong key).
+	FloatAcc, TPUWithKey, TPUNoKey, TPUWrongKey float64
+
+	// GateLevelAgrees records that the bit-level datapath matched the
+	// fast datapath on a sample of inferences.
+	GateLevelAgrees bool
+	GateOpsSampled  uint64
+
+	// Energy is the estimated per-workload energy breakdown, with the
+	// XOR gates' share as the HPNN overhead.
+	Energy tpu.EnergyReport
+}
+
+// Fig4Hardware trains a locked CNN1 victim at profile scale and runs it on
+// the simulated TPU.
+func Fig4Hardware(p Profile, logf Logf) (HardwareResult, error) {
+	var res HardwareResult
+	res.Report = tpu.Gates(tpu.DefaultConfig())
+
+	v, err := trainVictim(p, "fashion", core.CNN1, logf)
+	if err != nil {
+		return res, err
+	}
+	res.FloatAcc = v.OwnerAcc
+
+	trustedDev := keys.NewDevice("trusted", v.Key)
+	trusted, err := tpu.NewAccelerator(tpu.DefaultConfig(), trustedDev, v.Sched)
+	if err != nil {
+		return res, err
+	}
+	if res.TPUWithKey, err = trusted.Accuracy(v.Model, v.Dataset.TestX, v.Dataset.TestY); err != nil {
+		return res, err
+	}
+	res.CyclesLocked = trusted.Stats().Cycles
+	res.Energy = tpu.Energy(trusted.Stats())
+
+	commodity, err := tpu.NewAccelerator(tpu.DefaultConfig(), nil, v.Sched)
+	if err != nil {
+		return res, err
+	}
+	if res.TPUNoKey, err = commodity.Accuracy(v.Model, v.Dataset.TestX, v.Dataset.TestY); err != nil {
+		return res, err
+	}
+	res.CyclesPlain = commodity.Stats().Cycles
+
+	pirateDev := keys.NewDevice("pirate", v.Key.FlipRandomBits(rng.New(p.Seed+90), keys.KeyBits/2))
+	pirate, err := tpu.NewAccelerator(tpu.DefaultConfig(), pirateDev, v.Sched)
+	if err != nil {
+		return res, err
+	}
+	if res.TPUWrongKey, err = pirate.Accuracy(v.Model, v.Dataset.TestX, v.Dataset.TestY); err != nil {
+		return res, err
+	}
+
+	// Gate-level spot check on a few samples.
+	gate, err := tpu.NewAccelerator(tpu.Config{Rows: 256, Cols: 256, GateLevel: true}, trustedDev, v.Sched)
+	if err != nil {
+		return res, err
+	}
+	n := 4
+	if v.Dataset.TestX.Shape[0] < n {
+		n = v.Dataset.TestX.Shape[0]
+	}
+	sub := subBatch(v.Dataset, n)
+	fastPred, err := trusted.Predict(v.Model, sub)
+	if err != nil {
+		return res, err
+	}
+	gatePred, err := gate.Predict(v.Model, sub)
+	if err != nil {
+		return res, err
+	}
+	res.GateLevelAgrees = true
+	for i := range fastPred {
+		if fastPred[i] != gatePred[i] {
+			res.GateLevelAgrees = false
+		}
+	}
+	res.GateOpsSampled = gate.Stats().GateOps
+	logf.printf("[fig4] float %.4f | tpu+key %.4f | tpu no-key %.4f | tpu wrong-key %.4f",
+		res.FloatAcc, res.TPUWithKey, res.TPUNoKey, res.TPUWrongKey)
+	return res, nil
+}
+
+// CryptoRow is the encryption-baseline measurement for one architecture.
+type CryptoRow struct {
+	Arch      core.Arch
+	Params    int
+	EncryptMS float64
+	DecryptMS float64
+}
+
+// CryptoBaseline measures AES-256-CTR encrypt/decrypt latency over each
+// full-scale architecture's parameters — the §II heavyweight alternative.
+// HPNN's runtime alternative costs zero cycles and 4096 gates.
+func CryptoBaseline(logf Logf) ([]CryptoRow, error) {
+	configs := []core.Config{
+		{Arch: core.CNN1, InC: 1, InH: 28, InW: 28},
+		{Arch: core.CNN3, InC: 3, InH: 32, InW: 32},
+		{Arch: core.CNN2, InC: 3, InH: 32, InW: 32},
+	}
+	key := make([]byte, cryptobase.KeySize)
+	iv := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	var rows []CryptoRow
+	for _, cfg := range configs {
+		m, err := core.NewModel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		params := len(modelio.FlattenParams(m))
+		rep, err := cryptobase.MeasureOverhead(params, key, iv)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CryptoRow{
+			Arch:      cfg.Arch,
+			Params:    params,
+			EncryptMS: float64(rep.Encrypt.Microseconds()) / 1000,
+			DecryptMS: float64(rep.Decrypt.Microseconds()) / 1000,
+		})
+		logf.printf("[crypto] %s: %d params, enc %.2f ms, dec %.2f ms",
+			cfg.Arch, params, rows[len(rows)-1].EncryptMS, rows[len(rows)-1].DecryptMS)
+	}
+	return rows, nil
+}
+
+func subBatch(ds *dataset.Dataset, n int) *tensor.Tensor {
+	feat := ds.C * ds.H * ds.W
+	return tensor.FromSlice(ds.TestX.Data[:n*feat], n, ds.C, ds.H, ds.W)
+}

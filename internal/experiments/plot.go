@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// curveGlyphs label the series in an ASCII plot, in curve order.
+var curveGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// PlotCurves renders a CurveSet as an ASCII accuracy-vs-epoch chart
+// (y: accuracy %, x: epoch), with the owner's accuracy drawn as a
+// horizontal reference line of '='. It is the terminal rendition of the
+// line plots in Figs. 5 and 6.
+func PlotCurves(s CurveSet, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	epochs := 0
+	lo, hi := 1.0, 0.0
+	for _, c := range s.Curves {
+		if len(c.Acc) > epochs {
+			epochs = len(c.Acc)
+		}
+		for _, a := range c.Acc {
+			lo = math.Min(lo, a)
+			hi = math.Max(hi, a)
+		}
+	}
+	if epochs == 0 {
+		return "(no data)\n"
+	}
+	hi = math.Max(hi, s.OwnerAcc)
+	lo = math.Min(lo, s.OwnerAcc)
+	pad := 0.05 * (hi - lo + 0.01)
+	lo, hi = math.Max(0, lo-pad), math.Min(1, hi+pad)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(acc float64) int {
+		r := int(math.Round((hi - acc) / (hi - lo) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	col := func(epoch int) int {
+		if epochs == 1 {
+			return 0
+		}
+		return epoch * (width - 1) / (epochs - 1)
+	}
+	// Owner reference line.
+	or := row(s.OwnerAcc)
+	for x := 0; x < width; x++ {
+		grid[or][x] = '='
+	}
+	// Series (later curves overwrite; glyphs keep them distinguishable).
+	for ci, c := range s.Curves {
+		g := curveGlyphs[ci%len(curveGlyphs)]
+		for e, a := range c.Acc {
+			grid[row(a)][col(e)] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s / %s — accuracy vs epoch ('=' owner %.1f%%)\n", s.Dataset, s.Arch, 100*s.OwnerAcc)
+	for r, line := range grid {
+		y := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%6.1f%% |%s|\n", 100*y, string(line))
+	}
+	fmt.Fprintf(&b, "         epoch 1%sepoch %d\n", strings.Repeat(" ", max0(width-14)), epochs)
+	legend := "         "
+	for ci, c := range s.Curves {
+		legend += fmt.Sprintf("%c=%s  ", curveGlyphs[ci%len(curveGlyphs)], c.Label)
+	}
+	b.WriteString(legend + "\n")
+	return b.String()
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"hpnn/internal/attack"
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/tpu"
+	"hpnn/internal/watermark"
+)
+
+// KeyRecoveryResult is the greedy bit-recovery study: attacker gain as a
+// function of query budget.
+type KeyRecoveryResult struct {
+	OwnerAcc      float64
+	LockedNeurons int
+	Budgets       []int
+	TestAcc       []float64 // attacker test accuracy after each budget
+	BitsFlipped   []int
+}
+
+// KeyRecovery runs the greedy sign-recovery attack at increasing query
+// budgets against a CNN1 victim. The paper's security argument is that
+// the key must be searched exhaustively; this experiment quantifies what a
+// polynomial hill climber actually achieves.
+func KeyRecovery(p Profile, logf Logf) (KeyRecoveryResult, error) {
+	var out KeyRecoveryResult
+	v, err := trainVictim(p, "fashion", core.CNN1, logf)
+	if err != nil {
+		return out, err
+	}
+	out.OwnerAcc = v.OwnerAcc
+	out.LockedNeurons = v.Model.LockedNeurons()
+	out.Budgets = []int{50, 200, 800}
+	for _, budget := range out.Budgets {
+		res, err := attack.RecoverLocks(v.Model, v.Dataset, attack.KeyRecoveryConfig{
+			ThiefFrac:  0.10,
+			ThiefSeed:  p.Seed + 91,
+			MaxQueries: budget,
+			Seed:       p.Seed + 92,
+		})
+		if err != nil {
+			return out, err
+		}
+		out.TestAcc = append(out.TestAcc, res.TestAccEnd)
+		out.BitsFlipped = append(out.BitsFlipped, res.BitsFlipped)
+		logf.printf("[keyrecovery] budget %4d: test %.4f (flipped %d bits, owner %.4f)",
+			budget, res.TestAccEnd, res.BitsFlipped, v.OwnerAcc)
+	}
+	return out, nil
+}
+
+// QuantRow is the datapath-width ablation for one width.
+type QuantRow struct {
+	Bits     int
+	TPUAcc   float64
+	FloatAcc float64
+}
+
+// AblationQuant measures locked-inference fidelity of the simulated device
+// across datapath widths (8 down to 2 bits) against the float reference.
+func AblationQuant(p Profile, logf Logf) ([]QuantRow, error) {
+	v, err := trainVictim(p, "fashion", core.CNN1, logf)
+	if err != nil {
+		return nil, err
+	}
+	dev := keys.NewDevice("trusted", v.Key)
+	var rows []QuantRow
+	for _, bits := range []int{8, 6, 4, 2} {
+		cfg := tpu.DefaultConfig()
+		cfg.Bits = bits
+		acc, err := tpu.NewAccelerator(cfg, dev, v.Sched)
+		if err != nil {
+			return nil, err
+		}
+		a, err := acc.Accuracy(v.Model, v.Dataset.TestX, v.Dataset.TestY)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, QuantRow{Bits: bits, TPUAcc: a, FloatAcc: v.OwnerAcc})
+		logf.printf("[ablation/quant] %d-bit datapath: %.4f (float %.4f)", bits, a, v.OwnerAcc)
+	}
+	return rows, nil
+}
+
+// TransformRow is one transformation-attack measurement.
+type TransformRow struct {
+	Kind     attack.Transform
+	Strength float64
+	NoKeyAcc float64
+	KeyAcc   float64
+}
+
+// TransformAttacks runs the §I transformation-attack sweep (scaling,
+// noising, pruning) against a locked CNN1 victim: none of them recover
+// accuracy without the key, and mild ones preserve the keyed function.
+func TransformAttacks(p Profile, logf Logf) ([]TransformRow, float64, error) {
+	v, err := trainVictim(p, "fashion", core.CNN1, logf)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfgs := []attack.TransformConfig{
+		{Kind: attack.TransformScale, Strength: 1.5, Seed: p.Seed + 95},
+		{Kind: attack.TransformScale, Strength: 4, Seed: p.Seed + 95},
+		{Kind: attack.TransformNoise, Strength: 0.02, Seed: p.Seed + 96},
+		{Kind: attack.TransformNoise, Strength: 0.10, Seed: p.Seed + 96},
+		{Kind: attack.TransformPrune, Strength: 0.2, Seed: p.Seed + 97},
+		{Kind: attack.TransformPrune, Strength: 0.5, Seed: p.Seed + 97},
+	}
+	res, err := attack.TransformSweep(v.Model, v.Dataset, cfgs)
+	if err != nil {
+		return nil, 0, err
+	}
+	rows := make([]TransformRow, 0, len(res))
+	for _, r := range res {
+		rows = append(rows, TransformRow{
+			Kind:     r.Config.Kind,
+			Strength: r.Config.Strength,
+			NoKeyAcc: r.NoKeyAcc,
+			KeyAcc:   r.WithKeyAcc,
+		})
+		logf.printf("[transform] %s(%.2f): no-key %.4f, with-key %.4f",
+			r.Config.Kind, r.Config.Strength, r.NoKeyAcc, r.WithKeyAcc)
+	}
+	return rows, v.OwnerAcc, nil
+}
+
+// WatermarkComparison pits the §I/§II watermarking baseline against HPNN
+// in the private-deployment threat model the paper motivates: a pirate
+// steals the published model and fine-tunes it for private use.
+type WatermarkComparison struct {
+	// Watermarked (unprotected-function) model.
+	WMOwnerAcc   float64
+	WMEmbedBER   float64
+	WMPirateAcc  float64 // pirate's fine-tuned accuracy — the usable theft
+	WMPostBER    float64 // BER after the pirate's fine-tuning
+	WMDetectable bool    // detection still possible IF the owner gets access
+	// HPNN-locked model under the identical attack.
+	HPNNOwnerAcc  float64
+	HPNNStolenAcc float64 // no-key accuracy
+	HPNNPirateAcc float64 // fine-tuned accuracy
+}
+
+// WatermarkVsHPNN runs the comparison at profile scale on fashion/CNN1.
+func WatermarkVsHPNN(p Profile, logf Logf) (WatermarkComparison, error) {
+	var out WatermarkComparison
+	ds, err := makeDataset(p, "fashion", seedFor("fashion"))
+	if err != nil {
+		return out, err
+	}
+
+	// Watermarking baseline.
+	wmModel, err := buildModel(p, core.CNN1, ds, 400)
+	if err != nil {
+		return out, err
+	}
+	wm, err := watermark.New(wmModel, watermark.Config{Bits: 32, Strength: 0.5, Seed: p.Seed + 401, ParamIndex: -1})
+	if err != nil {
+		return out, err
+	}
+	res := watermark.TrainEmbedded(wmModel, wm, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, ownerTrain(p, nil))
+	out.WMOwnerAcc = res.FinalTestAcc()
+	_, out.WMEmbedBER, err = wm.Detected(wmModel)
+	if err != nil {
+		return out, err
+	}
+	ft, pirate, err := attack.FineTune(wmModel, ds, attack.FineTuneConfig{
+		ThiefFrac: 0.10, ThiefSeed: p.Seed + 402, Init: attack.InitStolen,
+		AttackerSeed: p.Seed + 403, Train: ftTrain(p),
+	})
+	if err != nil {
+		return out, err
+	}
+	out.WMPirateAcc = ft.FinalAcc
+	out.WMDetectable, out.WMPostBER, err = wm.Detected(pirate)
+	if err != nil {
+		return out, err
+	}
+	logf.printf("[wm-vs-hpnn] watermark: owner %.4f, pirate FT %.4f, post-attack BER %.3f",
+		out.WMOwnerAcc, out.WMPirateAcc, out.WMPostBER)
+
+	// HPNN under the identical attack.
+	v, err := trainVictim(p, "fashion", core.CNN1, logf)
+	if err != nil {
+		return out, err
+	}
+	out.HPNNOwnerAcc = v.OwnerAcc
+	out.HPNNStolenAcc = v.lockedAcc()
+	hft, err := v.fineTune(p, attack.InitStolen, 0.10, 404)
+	if err != nil {
+		return out, err
+	}
+	out.HPNNPirateAcc = hft.FinalAcc
+	logf.printf("[wm-vs-hpnn] hpnn: owner %.4f, stolen %.4f, pirate FT %.4f",
+		out.HPNNOwnerAcc, out.HPNNStolenAcc, out.HPNNPirateAcc)
+	return out, nil
+}

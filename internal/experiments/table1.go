@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"hpnn/internal/attack"
+	"hpnn/internal/core"
+	"hpnn/internal/stats"
+)
+
+// Table1Row is one row of the paper's Table I.
+type Table1Row struct {
+	Dataset       string
+	Arch          core.Arch
+	LockedNeurons int
+
+	// OriginalAcc is the locked model's accuracy on trusted hardware
+	// (key engaged) — the paper's "Original accuracy" column.
+	OriginalAcc float64
+	// LockedAcc is the accuracy of the stolen model on the baseline
+	// architecture (no key) and LockedDrop its percentage-point drop.
+	LockedAcc, LockedDrop float64
+	// Random / HPNN fine-tuning attack outcomes at α = 10 %.
+	RandomFTAcc, RandomFTDrop float64
+	HPNNFTAcc, HPNNFTDrop     float64
+}
+
+// Table1 reproduces Table I: for each (dataset, architecture) pair, the
+// owner's accuracy, the no-key collapse, and both fine-tuning attacks with
+// a 10 % thief dataset.
+func Table1(p Profile, logf Logf) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(benchmarks))
+	for _, b := range benchmarks {
+		v, err := trainVictim(p, b.Dataset, b.Arch, logf)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Dataset:       b.Dataset,
+			Arch:          b.Arch,
+			LockedNeurons: v.Model.LockedNeurons(),
+			OriginalAcc:   v.OwnerAcc,
+		}
+		row.LockedAcc = v.lockedAcc()
+		row.LockedDrop = stats.PctDrop(row.OriginalAcc, row.LockedAcc)
+		logf.printf("[%s] locked (no key) accuracy %.4f (drop %.2f)", b.Dataset, row.LockedAcc, row.LockedDrop)
+
+		randFT, err := v.fineTune(p, attack.InitRandom, 0.10, 1)
+		if err != nil {
+			return nil, err
+		}
+		row.RandomFTAcc = randFT.FinalAcc
+		row.RandomFTDrop = stats.PctDrop(row.OriginalAcc, row.RandomFTAcc)
+
+		hpnnFT, err := v.fineTune(p, attack.InitStolen, 0.10, 1)
+		if err != nil {
+			return nil, err
+		}
+		row.HPNNFTAcc = hpnnFT.FinalAcc
+		row.HPNNFTDrop = stats.PctDrop(row.OriginalAcc, row.HPNNFTAcc)
+		logf.printf("[%s] random-FT %.4f, HPNN-FT %.4f", b.Dataset, row.RandomFTAcc, row.HPNNFTAcc)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,240 @@
+// Package keys implements the HPNN secret key and the trusted-hardware key
+// container of the paper (§III-A, §III-D).
+//
+// The HPNN key is a fixed-length bit string (256 bits, matching the number
+// of accumulator units in the Google-TPU-like root of trust). During
+// training the model owner expands it — through the private hardware
+// scheduling algorithm (package schedule) — into one bit per locked neuron.
+// At inference time the key never leaves the trusted device: Device seals
+// the key and only answers per-column bit queries from the simulated
+// hardware, mirroring TPM-style secure key storage.
+package keys
+
+import (
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"hpnn/internal/rng"
+)
+
+// KeyBits is the HPNN key length in bits: one bit per accumulator unit of
+// the 256×256 matrix-multiply unit (§III-D2).
+const KeyBits = 256
+
+// KeyBytes is the key length in bytes.
+const KeyBytes = KeyBits / 8
+
+// Key is a 256-bit HPNN key. The zero value is the all-zero key (every
+// lock factor +1, i.e. an unlocked model).
+type Key struct {
+	b [KeyBytes]byte
+}
+
+// Generate draws a uniformly random key from r.
+func Generate(r *rng.Rand) Key {
+	var k Key
+	for i := 0; i < KeyBytes; i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8; j++ {
+			k.b[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return k
+}
+
+// FromBytes builds a key from exactly KeyBytes bytes.
+func FromBytes(p []byte) (Key, error) {
+	var k Key
+	if len(p) != KeyBytes {
+		return k, fmt.Errorf("keys: need %d bytes, got %d", KeyBytes, len(p))
+	}
+	copy(k.b[:], p)
+	return k, nil
+}
+
+// FromHex parses a 64-character hex string.
+func FromHex(s string) (Key, error) {
+	p, err := hex.DecodeString(s)
+	if err != nil {
+		return Key{}, fmt.Errorf("keys: %w", err)
+	}
+	return FromBytes(p)
+}
+
+// Hex returns the key as a 64-character hex string.
+func (k Key) Hex() string { return hex.EncodeToString(k.b[:]) }
+
+// Bytes returns a copy of the raw key bytes.
+func (k Key) Bytes() []byte { return append([]byte(nil), k.b[:]...) }
+
+// Bit returns key bit i (little-endian within bytes); i is taken mod
+// KeyBits so accumulator-column indices can be used directly.
+func (k Key) Bit(i int) byte {
+	i = ((i % KeyBits) + KeyBits) % KeyBits
+	return (k.b[i/8] >> (i % 8)) & 1
+}
+
+// FlipBit returns a copy of k with bit i inverted.
+func (k Key) FlipBit(i int) Key {
+	i = ((i % KeyBits) + KeyBits) % KeyBits
+	out := k
+	out.b[i/8] ^= 1 << (i % 8)
+	return out
+}
+
+// FlipRandomBits returns a copy of k with exactly n distinct random bits
+// inverted — used by the key-distance ablation.
+func (k Key) FlipRandomBits(r *rng.Rand, n int) Key {
+	if n < 0 || n > KeyBits {
+		panic(fmt.Sprintf("keys: cannot flip %d of %d bits", n, KeyBits))
+	}
+	perm := r.Perm(KeyBits)
+	out := k
+	for _, i := range perm[:n] {
+		out.b[i/8] ^= 1 << (i % 8)
+	}
+	return out
+}
+
+// HammingDistance returns the number of differing bits between k and o.
+func (k Key) HammingDistance(o Key) int {
+	d := 0
+	for i := range k.b {
+		d += bits.OnesCount8(k.b[i] ^ o.b[i])
+	}
+	return d
+}
+
+// Equal reports whether two keys are identical, in constant time.
+func (k Key) Equal(o Key) bool {
+	return subtle.ConstantTimeCompare(k.b[:], o.b[:]) == 1
+}
+
+// OnesCount returns the key's Hamming weight.
+func (k Key) OnesCount() int {
+	c := 0
+	for _, b := range k.b {
+		c += bits.OnesCount8(b)
+	}
+	return c
+}
+
+// String renders a short fingerprint, never the full key, so keys do not
+// leak through logs.
+func (k Key) String() string {
+	return fmt.Sprintf("HPNNKey(%s…, weight=%d)", k.Hex()[:8], k.OnesCount())
+}
+
+// Device models the hardware root of trust: a sealed container holding the
+// HPNN key in "on-chip" memory. Consumers (the TPU simulator, the owner's
+// training pre-processing) can only query per-column key bits; the raw key
+// is not retrievable through the Device API.
+type Device struct {
+	key    Key
+	serial string
+	// authority is set for devices provisioned through an Authority;
+	// revoked devices answer every key-bit query with 0 (the lock
+	// hardware degrades to the baseline function, which is useless on an
+	// obfuscated model — the license is dead).
+	authority *Authority
+}
+
+// NewDevice provisions a trusted device with the given key. serial is a
+// human-readable device identity for licensing bookkeeping.
+func NewDevice(serial string, key Key) *Device {
+	return &Device{key: key, serial: serial}
+}
+
+// Serial returns the device identity.
+func (d *Device) Serial() string { return d.serial }
+
+// ColumnBit returns the key bit wired to accumulator column col — the only
+// key access the hardware exposes. A revoked device reads as all-zero.
+func (d *Device) ColumnBit(col int) byte {
+	if d.authority != nil && d.authority.Revoked(d.serial) {
+		return 0
+	}
+	return d.key.Bit(col)
+}
+
+// BitsForColumns expands a neuron→column assignment into per-neuron lock
+// bits. This is the query the owner's one-time training pre-processing
+// performs (§III-D3) and the query the MMU makes when streaming neurons
+// through its accumulators.
+func (d *Device) BitsForColumns(cols []int) []byte {
+	out := make([]byte, len(cols))
+	for i, c := range cols {
+		out[i] = d.ColumnBit(c)
+	}
+	return out
+}
+
+// Fingerprint returns a short non-sensitive identifier derived from the
+// key, used to check that a model and a device were provisioned together
+// without revealing key material.
+func (d *Device) Fingerprint() string {
+	h := rng.Mix64(0x48504e4e) // "HPNN"
+	for _, b := range d.key.b {
+		h = rng.Mix64(h ^ uint64(b))
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// Authority is the owner-side licensing service of Fig. 1: it provisions
+// trusted devices (the "licenses" distributed to authorized end-users),
+// tracks their serials and supports revocation. Revoked devices stop
+// answering key-bit queries, modelling a root of trust that verifies its
+// license state before unsealing the key.
+type Authority struct {
+	key     Key
+	issued  map[string]*Device
+	revoked map[string]bool
+}
+
+// NewAuthority creates a licensing authority holding the HPNN key.
+func NewAuthority(key Key) *Authority {
+	return &Authority{
+		key:     key,
+		issued:  make(map[string]*Device),
+		revoked: make(map[string]bool),
+	}
+}
+
+// Issue provisions a new trusted device under the given serial. Issuing
+// the same serial twice fails (each license is a distinct physical device).
+func (a *Authority) Issue(serial string) (*Device, error) {
+	if serial == "" {
+		return nil, fmt.Errorf("keys: empty device serial")
+	}
+	if _, dup := a.issued[serial]; dup {
+		return nil, fmt.Errorf("keys: serial %q already issued", serial)
+	}
+	d := &Device{key: a.key, serial: serial, authority: a}
+	a.issued[serial] = d
+	return d, nil
+}
+
+// Revoke invalidates a previously issued device.
+func (a *Authority) Revoke(serial string) error {
+	if _, ok := a.issued[serial]; !ok {
+		return fmt.Errorf("keys: unknown serial %q", serial)
+	}
+	a.revoked[serial] = true
+	return nil
+}
+
+// Revoked reports whether a serial has been revoked.
+func (a *Authority) Revoked(serial string) bool { return a.revoked[serial] }
+
+// Issued lists the issued device serials.
+func (a *Authority) Issued() []string {
+	out := make([]string, 0, len(a.issued))
+	for s := range a.issued {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

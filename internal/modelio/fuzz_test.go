@@ -1,0 +1,42 @@
+package modelio
+
+import (
+	"bytes"
+	"testing"
+
+	"hpnn/internal/core"
+)
+
+// FuzzLoad hardens the deserializer against malformed input: Load must
+// return an error or a valid model — never panic or hang — for arbitrary
+// bytes. The seed corpus includes a valid model and targeted mutations.
+func FuzzLoad(f *testing.F) {
+	m := core.MustModel(core.Config{Arch: core.MLP, InC: 1, InH: 8, InW: 8, Seed: 1})
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("HPNN"))
+	f.Add(valid[:len(valid)/2])
+	// Corrupt the parameter-count field.
+	corrupt := append([]byte(nil), valid...)
+	if len(corrupt) > 40 {
+		corrupt[38] = 0xFF
+		corrupt[39] = 0xFF
+	}
+	f.Add(corrupt)
+	// Oversized string length.
+	huge := append([]byte(nil), valid[:8]...)
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0x7F)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		model, err := Load(bytes.NewReader(data))
+		if err == nil && model == nil {
+			t.Fatal("Load returned nil model without error")
+		}
+	})
+}

@@ -1,0 +1,278 @@
+package modelio
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/rng"
+	"hpnn/internal/schedule"
+	"hpnn/internal/tensor"
+)
+
+func sampleModel(t *testing.T, arch core.Arch) *core.Model {
+	t.Helper()
+	cfg := core.Config{Arch: arch, InC: 1, InH: 16, InW: 16, Seed: 60}
+	if arch == core.ResNet18 {
+		cfg.WidthScale = 0.125
+	}
+	m := core.MustModel(cfg)
+	// Give the weights structure so round-trips are meaningful.
+	r := rng.New(61)
+	for _, p := range m.Net.Params() {
+		p.Value.FillNorm(r, 0, 0.5)
+	}
+	return m
+}
+
+func sameForward(t *testing.T, a, b *core.Model) bool {
+	t.Helper()
+	x := tensor.New(3, 1, 16, 16)
+	x.FillNorm(rng.New(62), 0, 1)
+	oa := a.Net.Forward(x, false)
+	ob := b.Net.Forward(x, false)
+	return tensor.Equal(oa, ob, 1e-12)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, arch := range []core.Arch{core.CNN1, core.MLP, core.ResNet18} {
+		m := sampleModel(t, arch)
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatalf("%s: save: %v", arch, err)
+		}
+		back, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: load: %v", arch, err)
+		}
+		if back.Config.Arch != arch {
+			t.Fatalf("%s: arch lost", arch)
+		}
+		if !sameForward(t, m, back) {
+			t.Fatalf("%s: round-trip changed the network function", arch)
+		}
+	}
+}
+
+func TestSaveLoadPreservesBatchNormStats(t *testing.T) {
+	m := sampleModel(t, core.ResNet18)
+	// Push the running stats away from their init.
+	x := tensor.New(4, 1, 16, 16)
+	x.FillNorm(rng.New(63), 1, 2)
+	m.Net.Forward(x, true)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.BatchNormStats(m)
+	b := core.BatchNormStats(back)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("stat block counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("batch-norm running stats not preserved")
+			}
+		}
+	}
+}
+
+func TestLoadedModelHasNoKey(t *testing.T) {
+	m := sampleModel(t, core.CNN1)
+	m.ApplyRawKey(keys.Generate(rng.New(64)), schedule.New(keys.KeyBits, 65))
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range back.KeyBits() {
+		if b != 0 {
+			t.Fatal("serialized model leaked lock bits — key material must not be published")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("NOPE----------------"),
+		append([]byte("HPNN"), 9, 9, 9, 9), // bad version
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader(c)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	m := sampleModel(t, core.CNN1)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	if _, err := Load(bytes.NewReader(blob[:len(blob)/2])); err == nil {
+		t.Fatal("truncated model accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := sampleModel(t, core.MLP)
+	path := filepath.Join(t.TempDir(), "model.hpnn")
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameForward(t, m, back) {
+		t.Fatal("file round-trip changed the network function")
+	}
+}
+
+func TestFlattenParams(t *testing.T) {
+	m := sampleModel(t, core.MLP)
+	flat := FlattenParams(m)
+	if len(flat) != m.Net.ParamCount() {
+		t.Fatalf("flattened %d values, want %d", len(flat), m.Net.ParamCount())
+	}
+}
+
+func TestZooPublishFetchList(t *testing.T) {
+	zoo := NewZoo()
+	srv := httptest.NewServer(zoo.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	m := sampleModel(t, core.CNN1)
+	if err := client.Publish("fashion-cnn1", m); err != nil {
+		t.Fatal(err)
+	}
+	names, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "fashion-cnn1" {
+		t.Fatalf("zoo list %v", names)
+	}
+	back, err := client.Fetch("fashion-cnn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameForward(t, m, back) {
+		t.Fatal("zoo round-trip changed the network function")
+	}
+}
+
+func TestZooFetchMissing(t *testing.T) {
+	srv := httptest.NewServer(NewZoo().Handler())
+	defer srv.Close()
+	if _, err := NewClient(srv.URL).Fetch("nope"); err == nil {
+		t.Fatal("missing model fetched")
+	}
+}
+
+func TestZooRejectsInvalidUpload(t *testing.T) {
+	zoo := NewZoo()
+	srv := httptest.NewServer(zoo.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/models/bad", "application/octet-stream",
+		bytes.NewReader([]byte("not a model")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 422 {
+		t.Fatalf("invalid upload got status %d, want 422", resp.StatusCode)
+	}
+	if len(zoo.Names()) != 0 {
+		t.Fatal("invalid model stored")
+	}
+}
+
+func TestZooRejectsBadPaths(t *testing.T) {
+	srv := httptest.NewServer(NewZoo().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/models/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("nested path got %d, want 400", resp.StatusCode)
+	}
+}
+
+// failAfter is a writer that errors after n bytes — exercises Save's
+// error propagation.
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWriteFull
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errWriteFull
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errWriteFull = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "disk full" }
+
+func TestSaveWriteErrors(t *testing.T) {
+	m := sampleModel(t, core.CNN1)
+	// Probe several truncation points: magic, config, params.
+	for _, n := range []int{0, 2, 10, 100, 1000} {
+		if err := Save(&failAfter{n: n}, m); err == nil {
+			t.Fatalf("Save with %d-byte writer did not fail", n)
+		}
+	}
+}
+
+func TestSaveFileToBadPath(t *testing.T) {
+	m := sampleModel(t, core.MLP)
+	if err := SaveFile("/nonexistent-dir/model.hpnn", m); err == nil {
+		t.Fatal("SaveFile to bad path succeeded")
+	}
+	if _, err := LoadFile("/nonexistent-dir/model.hpnn"); err == nil {
+		t.Fatal("LoadFile from bad path succeeded")
+	}
+}
+
+func TestLoadRejectsWrongArchParams(t *testing.T) {
+	// Serialize an MLP, then corrupt the stored arch string to cnn1 —
+	// parameter names/counts will not line up.
+	m := sampleModel(t, core.MLP)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Replace(buf.Bytes(), []byte("mlp"), []byte("XYZ"), 1)
+	if _, err := Load(bytes.NewReader(blob)); err == nil {
+		t.Fatal("unknown architecture in file accepted")
+	}
+}

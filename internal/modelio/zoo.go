@@ -1,0 +1,166 @@
+package modelio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"hpnn/internal/core"
+)
+
+// Zoo is the public model-sharing platform of Fig. 1: an in-memory HTTP
+// service where owners publish obfuscated models and anyone can list and
+// download them. Distribution is deliberately open — HPNN's security rests
+// on the hardware key, not on restricting access to the weights.
+type Zoo struct {
+	mu     sync.RWMutex
+	models map[string][]byte
+}
+
+// NewZoo returns an empty model zoo.
+func NewZoo() *Zoo {
+	return &Zoo{models: make(map[string][]byte)}
+}
+
+// Put stores a serialized model under name (local API, used by the server
+// side and tests).
+func (z *Zoo) Put(name string, blob []byte) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.models[name] = append([]byte(nil), blob...)
+}
+
+// Get retrieves a serialized model.
+func (z *Zoo) Get(name string) ([]byte, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	b, ok := z.models[name]
+	return b, ok
+}
+
+// Names lists the published model names, sorted.
+func (z *Zoo) Names() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	out := make([]string, 0, len(z.models))
+	for n := range z.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler serves the zoo over HTTP:
+//
+//	GET  /models           → JSON list of model names
+//	GET  /models/{name}    → binary model download
+//	POST /models/{name}    → publish (owner upload)
+func (z *Zoo) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/models", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(z.Names())
+	})
+	mux.HandleFunc("/models/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/models/")
+		if name == "" || strings.Contains(name, "/") {
+			http.Error(w, "invalid model name", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			blob, ok := z.Get(name)
+			if !ok {
+				http.Error(w, "model not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(blob)
+		case http.MethodPost:
+			blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
+			if err != nil {
+				http.Error(w, "read error", http.StatusBadRequest)
+				return
+			}
+			// Validate before accepting: the zoo only hosts HPNN models.
+			if _, err := Load(bytes.NewReader(blob)); err != nil {
+				http.Error(w, fmt.Sprintf("invalid model: %v", err), http.StatusUnprocessableEntity)
+				return
+			}
+			z.Put(name, blob)
+			w.WriteHeader(http.StatusCreated)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+// Client talks to a Zoo server.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a zoo client for the given base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+}
+
+// Publish serializes and uploads a model (the owner-side operation).
+func (c *Client) Publish(name string, m *core.Model) error {
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.Base+"/models/"+name, "application/octet-stream", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("modelio: publish failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// Fetch downloads and deserializes a published model (the end-user or
+// attacker operation — anyone can do this).
+func (c *Client) Fetch(name string) (*core.Model, error) {
+	resp, err := c.HTTP.Get(c.Base + "/models/" + name)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("modelio: fetch failed: %s", resp.Status)
+	}
+	return Load(resp.Body)
+}
+
+// List returns the published model names.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.HTTP.Get(c.Base + "/models")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("modelio: list failed: %s", resp.Status)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}

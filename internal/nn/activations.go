@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+
+	"hpnn/internal/tensor"
+)
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// ReLU is the rectified linear activation max(0, x).
+//
+// In the HPNN framework every ReLU is preceded by a Lock layer: the paper
+// locks exactly the neurons "belonging to nonlinear layers", i.e. the
+// pre-activation values feeding each ReLU.
+type ReLU struct {
+	lastIn *tensor.Tensor
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "ReLU" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.lastIn = x
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape...)
+	for i, v := range r.lastIn.Data {
+		if v > 0 {
+			dx.Data[i] = grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// LeakyReLU is max(x, alpha·x).
+type LeakyReLU struct {
+	Alpha  float64
+	lastIn *tensor.Tensor
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Name implements Layer.
+func (r *LeakyReLU) Name() string { return "LeakyReLU" }
+
+// Params implements Layer.
+func (r *LeakyReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.lastIn = x
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		} else {
+			y.Data[i] = r.Alpha * v
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape...)
+	for i, v := range r.lastIn.Data {
+		if v > 0 {
+			dx.Data[i] = grad.Data[i]
+		} else {
+			dx.Data[i] = r.Alpha * grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// Sigmoid is the logistic activation 1/(1+e^-x). It is used by the
+// Theorem 1 single-layer delta-rule experiments.
+type Sigmoid struct {
+	lastOut *tensor.Tensor
+}
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "Sigmoid" }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		y.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.lastOut = y
+	return y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape...)
+	for i, o := range s.lastOut.Data {
+		dx.Data[i] = grad.Data[i] * o * (1 - o)
+	}
+	return dx
+}
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	lastOut *tensor.Tensor
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "Tanh" }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	t.lastOut = y
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape...)
+	for i, o := range t.lastOut.Data {
+		dx.Data[i] = grad.Data[i] * (1 - o*o)
+	}
+	return dx
+}
+
+// Flatten reshapes [N, C, H, W] (or any rank ≥ 2) batches to [N, D].
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "Flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.lastShape = append(f.lastShape[:0], x.Shape...)
+	n := x.Shape[0]
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.lastShape...)
+}

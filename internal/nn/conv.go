@@ -1,0 +1,203 @@
+package nn
+
+import (
+	"fmt"
+
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over [N, C, H, W] batches, lowered to
+// GEMM through im2col. Weights have shape [OutC, InC, KH, KW].
+type Conv2D struct {
+	Geom tensor.ConvGeom
+	OutC int
+	W    *Param // [OutC, InC*KH*KW] (flattened kernel bank)
+	B    *Param // [OutC]
+
+	lastX    *tensor.Tensor
+	lastCols []*tensor.Tensor // per-sample im2col matrices
+}
+
+// NewConv2D constructs a convolution layer. Parameters start at zero; call
+// InitHe to randomize.
+func NewConv2D(g tensor.ConvGeom, outC int) *Conv2D {
+	if err := g.Validate(); err != nil {
+		panic("nn: " + err.Error())
+	}
+	k := g.InC * g.KH * g.KW
+	return &Conv2D{
+		Geom: g,
+		OutC: outC,
+		W:    NewParam(fmt.Sprintf("conv_%dx%dx%dx%d.W", outC, g.InC, g.KH, g.KW), outC, k),
+		B:    NewParam(fmt.Sprintf("conv_%d.B", outC), outC),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%d→%d, %dx%d, s%d, p%d)",
+		c.Geom.InC, c.OutC, c.Geom.KH, c.Geom.KW, c.Geom.Stride, c.Geom.Pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// InitHe applies He-normal initialization over the kernel fan-in.
+func (c *Conv2D) InitHe(r *rng.Rand) *Conv2D {
+	fanIn := float64(c.Geom.InC * c.Geom.KH * c.Geom.KW)
+	c.W.Value.FillNorm(r, 0, sqrt(2/fanIn))
+	c.B.Value.Zero()
+	return c
+}
+
+// OutShape returns the per-sample output dimensions [OutC, OutH, OutW].
+func (c *Conv2D) OutShape() (int, int, int) {
+	return c.OutC, c.Geom.OutH(), c.Geom.OutW()
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.Geom
+	if len(x.Shape) != 4 || x.Shape[1] != g.InC || x.Shape[2] != g.InH || x.Shape[3] != g.InW {
+		panic(fmt.Sprintf("nn: Conv2D expects [N,%d,%d,%d], got %v", g.InC, g.InH, g.InW, x.Shape))
+	}
+	n := x.Shape[0]
+	outH, outW := g.OutH(), g.OutW()
+	pix := outH * outW
+	featIn := g.InC * g.InH * g.InW
+	c.lastX = x
+	if len(c.lastCols) != n {
+		c.lastCols = make([]*tensor.Tensor, n)
+	}
+	out := tensor.New(n, c.OutC, outH, outW)
+	rows := g.InC * g.KH * g.KW
+	bd := c.B.Value.Data
+	tensor.Parallel(n, func(i int) {
+		img := tensor.FromSlice(x.Data[i*featIn:(i+1)*featIn], g.InC, g.InH, g.InW)
+		col := c.lastCols[i]
+		if col == nil || col.Len() != rows*pix {
+			col = tensor.New(rows, pix)
+			c.lastCols[i] = col
+		}
+		tensor.Im2ColInto(col, img, g)
+		res := tensor.FromSlice(out.Data[i*c.OutC*pix:(i+1)*c.OutC*pix], c.OutC, pix)
+		matMulSerialInto(res, c.W.Value, col)
+		for oc := 0; oc < c.OutC; oc++ {
+			row := res.Data[oc*pix : (oc+1)*pix]
+			b := bd[oc]
+			for p := range row {
+				row[p] += b
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := c.Geom
+	n := grad.Shape[0]
+	outH, outW := g.OutH(), g.OutW()
+	pix := outH * outW
+	featIn := g.InC * g.InH * g.InW
+	dx := tensor.New(n, g.InC, g.InH, g.InW)
+
+	// Per-sample weight-gradient partials are accumulated into worker-local
+	// buffers and reduced serially, keeping the backward pass deterministic.
+	type partial struct {
+		dW *tensor.Tensor
+		dB []float64
+	}
+	parts := make([]partial, n)
+	tensor.Parallel(n, func(i int) {
+		gOut := tensor.FromSlice(grad.Data[i*c.OutC*pix:(i+1)*c.OutC*pix], c.OutC, pix)
+		col := c.lastCols[i]
+		// dW_i = gOut · colᵀ  -> [OutC, rows]
+		dW := matMulNTSerial(gOut, col)
+		dB := make([]float64, c.OutC)
+		for oc := 0; oc < c.OutC; oc++ {
+			row := gOut.Data[oc*pix : (oc+1)*pix]
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			dB[oc] = s
+		}
+		parts[i] = partial{dW: dW, dB: dB}
+		// dcol = Wᵀ · gOut -> [rows, pix]; scatter back to image space.
+		dcol := matMulTNSerial(c.W.Value, gOut)
+		img := tensor.Col2Im(dcol, g)
+		copy(dx.Data[i*featIn:(i+1)*featIn], img.Data)
+	})
+	for i := 0; i < n; i++ {
+		c.W.Grad.AddScaled(1, parts[i].dW)
+		bg := c.B.Grad.Data
+		for j, v := range parts[i].dB {
+			bg[j] += v
+		}
+	}
+	return dx
+}
+
+// matMulSerialInto computes dst = a·b without spawning goroutines; the
+// convolution layer already parallelizes across the batch.
+func matMulSerialInto(dst, a, b *tensor.Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	nCols := b.Shape[1]
+	for i := 0; i < m; i++ {
+		crow := dst.Data[i*nCols : (i+1)*nCols]
+		for x := range crow {
+			crow[x] = 0
+		}
+		arow := a.Data[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*nCols : (p+1)*nCols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+func matMulNTSerial(a, b *tensor.Tensor) *tensor.Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	out := tensor.New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return out
+}
+
+func matMulTNSerial(a, b *tensor.Tensor) *tensor.Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	out := tensor.New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// Dense is a fully-connected layer: y = x·Wᵀ + b with x of shape [N, In].
+type Dense struct {
+	In, Out int
+	W       *Param // [Out, In]
+	B       *Param // [Out]
+
+	lastX *tensor.Tensor
+}
+
+// NewDense constructs a dense layer with zero-initialized parameters.
+// Use InitHe/InitXavier (or Network initializers) to randomize weights.
+func NewDense(in, out int) *Dense {
+	return &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam(fmt.Sprintf("dense_%dx%d.W", out, in), out, in),
+		B:   NewParam(fmt.Sprintf("dense_%dx%d.B", out, in), out),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d→%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// InitHe applies He-normal initialization (std = sqrt(2/fanIn)), the
+// standard choice ahead of ReLU activations.
+func (d *Dense) InitHe(r *rng.Rand) *Dense {
+	d.W.Value.FillNorm(r, 0, sqrt(2/float64(d.In)))
+	d.B.Value.Zero()
+	return d
+}
+
+// InitXavier applies Xavier-normal initialization (std = sqrt(1/fanIn)).
+func (d *Dense) InitXavier(r *rng.Rand) *Dense {
+	d.W.Value.FillNorm(r, 0, sqrt(1/float64(d.In)))
+	d.B.Value.Zero()
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: Dense expects [N,%d], got %v", d.In, x.Shape))
+	}
+	d.lastX = x
+	y := tensor.MatMulNT(x, d.W.Value) // [N, Out]
+	n := x.Shape[0]
+	bd := d.B.Value.Data
+	for i := 0; i < n; i++ {
+		row := y.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Shape[0]
+	// dW = gradᵀ·x  ([Out,N]·[N,In])
+	dW := tensor.MatMulTN(grad, d.lastX)
+	d.W.Grad.AddScaled(1, dW)
+	// dB = column sums of grad
+	bg := d.B.Grad.Data
+	for i := 0; i < n; i++ {
+		row := grad.Data[i*d.Out : (i+1)*d.Out]
+		for j, v := range row {
+			bg[j] += v
+		}
+	}
+	// dX = grad·W  ([N,Out]·[Out,In])
+	return tensor.MatMul(grad, d.W.Value)
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// Dropout zeroes a fraction P of activations during training and rescales
+// the survivors by 1/(1-P) (inverted dropout), so inference needs no
+// adjustment.
+type Dropout struct {
+	P   float64
+	Rng *rng.Rand
+
+	lastMask []float64
+}
+
+// NewDropout constructs a dropout layer with drop probability p, drawing
+// masks from r.
+func NewDropout(p float64, r *rng.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v out of [0,1)", p))
+	}
+	return &Dropout{P: p, Rng: r}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.P) }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.lastMask = nil
+		return x
+	}
+	if len(d.lastMask) != x.Len() {
+		d.lastMask = make([]float64, x.Len())
+	}
+	scale := 1 / (1 - d.P)
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if d.Rng.Float64() < d.P {
+			d.lastMask[i] = 0
+		} else {
+			d.lastMask[i] = scale
+			y.Data[i] = v * scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastMask == nil {
+		return grad
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, m := range d.lastMask {
+		dx.Data[i] = grad.Data[i] * m
+	}
+	return dx
+}

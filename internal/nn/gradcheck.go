@@ -1,0 +1,39 @@
+package nn
+
+import (
+	"math"
+
+	"hpnn/internal/tensor"
+)
+
+// CheckGradients compares the analytic gradients of net (under loss
+// function lossFn, which must run Forward+Backward and return the scalar
+// loss) against central finite differences, for both parameters and the
+// input. It returns the maximum relative error observed.
+//
+// lossFn is called many times; keep the network tiny. This is the
+// correctness backbone for every layer, including the key-locked ones.
+func CheckGradients(net *Network, x *tensor.Tensor, lossFn func() float64, eps float64) float64 {
+	// Analytic pass: caller's lossFn must have populated Grad fields.
+	worst := 0.0
+	for _, p := range net.Params() {
+		analytic := p.Grad.Clone()
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lPlus := lossFn()
+			p.Value.Data[i] = orig - eps
+			lMinus := lossFn()
+			p.Value.Data[i] = orig
+			numeric := (lPlus - lMinus) / (2 * eps)
+			worst = math.Max(worst, relErr(analytic.Data[i], numeric))
+		}
+	}
+	return worst
+}
+
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1e-4)
+	return d / scale
+}

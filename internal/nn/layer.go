@@ -1,0 +1,138 @@
+// Package nn is a from-scratch CPU neural-network training framework: the
+// substrate the HPNN reproduction trains its convolutional networks with.
+//
+// It provides the layers needed by the paper's architectures (CNN1/2/3 and
+// ResNet-18): convolution (via im2col GEMM), dense, ReLU-family activations,
+// max/average pooling, batch normalization, dropout, residual blocks — plus
+// the Lock layer, which implements the paper's neuron-locking transform
+// out_j = f(L_j · MAC_j) and its key-dependent backpropagation rule.
+//
+// Conventions: activations flow as tensors whose first dimension is the
+// batch (either [N, D] or [N, C, H, W]); Backward receives dLoss/dOutput and
+// returns dLoss/dInput while accumulating parameter gradients into Param.Grad.
+package nn
+
+import (
+	"fmt"
+
+	"hpnn/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter (and its gradient) with the given shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable network stage.
+type Layer interface {
+	// Name identifies the layer in diagnostics and serialization.
+	Name() string
+	// Forward computes the layer output for a batch. train selects
+	// training-mode behaviour (dropout masks, batch statistics).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dLoss/dOutput of the most recent Forward and
+	// returns dLoss/dInput, accumulating parameter gradients.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (nil if none), in a
+	// deterministic order used by optimizers and serialization.
+	Params() []*Param
+}
+
+// Network is an ordered sequence of layers trained end-to-end.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a network from the given layers.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{Layers: layers}
+}
+
+// Forward runs the batch through every layer in order.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through the layers in reverse.
+func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (n *Network) ParamCount() int {
+	c := 0
+	for _, p := range n.Params() {
+		c += p.Value.Len()
+	}
+	return c
+}
+
+// Locks returns every Lock layer in the network, in forward order,
+// descending into residual blocks. The HPNN key schedule uses this to
+// assign key bits to neurons.
+func (n *Network) Locks() []*Lock {
+	var locks []*Lock
+	for _, l := range n.Layers {
+		locks = append(locks, collectLocks(l)...)
+	}
+	return locks
+}
+
+func collectLocks(l Layer) []*Lock {
+	switch v := l.(type) {
+	case *Lock:
+		return []*Lock{v}
+	case *Residual:
+		var out []*Lock
+		out = append(out, v.Body.Locks()...)
+		if v.Skip != nil {
+			out = append(out, v.Skip.Locks()...)
+		}
+		out = append(out, v.Post.Locks()...)
+		return out
+	default:
+		return nil
+	}
+}
+
+// Summary returns a human-readable multi-line description of the network.
+func (n *Network) Summary() string {
+	s := ""
+	for i, l := range n.Layers {
+		s += fmt.Sprintf("%2d: %s\n", i, l.Name())
+	}
+	s += fmt.Sprintf("trainable parameters: %d\n", n.ParamCount())
+	return s
+}

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"fmt"
+
+	"hpnn/internal/tensor"
+)
+
+// Lock implements the HPNN neuron-locking transform of the paper (Eq. 1):
+//
+//	out_j = f(L_j · MAC_j),   L_j = (-1)^{k_j}
+//
+// A Lock layer sits between the MAC stage (Conv2D/Dense) and its nonlinear
+// activation f, multiplying each pre-activation by the neuron's lock factor
+// L_j ∈ {+1, -1}. The backward pass multiplies the incoming gradient by the
+// same factors, which yields exactly the key-dependent backpropagation rule
+// of Eq. (4)–(5): δ_j picks up the L_j term through dout/dMAC = L_j·f'.
+//
+// Factors has one entry per neuron of the layer's per-sample feature block
+// (C·H·W for conv outputs, D for dense outputs). Engaged selects whether the
+// lock is applied:
+//
+//   - owner training / trusted-hardware inference: Engaged with the true key;
+//   - attacker running the baseline architecture: Disengage() — the lock
+//     disappears and the layer is the identity, which models loading stolen
+//     weights into the plain published topology;
+//   - wrong-key usage: Engaged with a different key's factors.
+type Lock struct {
+	ID      string // stable identifier used by the key schedule
+	Factors []float64
+	Engaged bool
+}
+
+// NewLock creates an engaged lock of size n with all factors +1 (k_j = 0).
+func NewLock(id string, n int) *Lock {
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = 1
+	}
+	return &Lock{ID: id, Factors: f, Engaged: true}
+}
+
+// Name implements Layer.
+func (l *Lock) Name() string {
+	state := "engaged"
+	if !l.Engaged {
+		state = "disengaged"
+	}
+	return fmt.Sprintf("Lock(%s, %d neurons, %s)", l.ID, len(l.Factors), state)
+}
+
+// Params implements Layer. Lock factors are key material, not trainable
+// parameters, so Lock exposes none.
+func (l *Lock) Params() []*Param { return nil }
+
+// Neurons returns the number of locked neurons.
+func (l *Lock) Neurons() int { return len(l.Factors) }
+
+// SetBits programs the lock from key bits: factor_j = (-1)^{bits[j]}
+// (Eq. 2 of the paper). It panics if the bit count does not match.
+func (l *Lock) SetBits(bits []byte) {
+	if len(bits) != len(l.Factors) {
+		panic(fmt.Sprintf("nn: Lock %s expects %d bits, got %d", l.ID, len(l.Factors), len(bits)))
+	}
+	for i, b := range bits {
+		if b&1 == 0 {
+			l.Factors[i] = 1
+		} else {
+			l.Factors[i] = -1
+		}
+	}
+}
+
+// Bits returns the current key bits (0 for +1, 1 for -1).
+func (l *Lock) Bits() []byte {
+	bits := make([]byte, len(l.Factors))
+	for i, f := range l.Factors {
+		if f < 0 {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+// Disengage makes the layer an identity, modelling inference on the plain
+// baseline architecture (stolen model, no trusted hardware).
+func (l *Lock) Disengage() { l.Engaged = false }
+
+// Engage re-applies the lock factors.
+func (l *Lock) Engage() { l.Engaged = true }
+
+// Forward implements Layer: out = L ⊙ x per sample.
+func (l *Lock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !l.Engaged {
+		return x
+	}
+	feat := len(l.Factors)
+	if x.Len()%feat != 0 || x.Shape[0]*feat != x.Len() {
+		panic(fmt.Sprintf("nn: Lock %s sized %d cannot apply to %v", l.ID, feat, x.Shape))
+	}
+	n := x.Shape[0]
+	y := tensor.New(x.Shape...)
+	for i := 0; i < n; i++ {
+		src := x.Data[i*feat : (i+1)*feat]
+		dst := y.Data[i*feat : (i+1)*feat]
+		for j, v := range src {
+			dst[j] = l.Factors[j] * v
+		}
+	}
+	return y
+}
+
+// Backward implements Layer: dx = L ⊙ grad — the key-dependent term of the
+// paper's learning rule.
+func (l *Lock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if !l.Engaged {
+		return grad
+	}
+	feat := len(l.Factors)
+	n := grad.Shape[0]
+	dx := tensor.New(grad.Shape...)
+	for i := 0; i < n; i++ {
+		src := grad.Data[i*feat : (i+1)*feat]
+		dst := dx.Data[i*feat : (i+1)*feat]
+		for j, v := range src {
+			dst[j] = l.Factors[j] * v
+		}
+	}
+	return dx
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"hpnn/internal/tensor"
+)
+
+// SoftmaxCrossEntropy combines a softmax over class logits with the
+// cross-entropy loss, averaged over the batch. It is the training loss for
+// all classification experiments.
+type SoftmaxCrossEntropy struct{}
+
+// Loss returns the mean cross-entropy of logits [N, K] against integer
+// labels, plus dLoss/dLogits ready for Network.Backward.
+func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	grad := tensor.New(n, k)
+	total := 0.0
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		g := grad.Data[i*k : (i+1)*k]
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			g[j] = e
+			sum += e
+		}
+		label := labels[i]
+		if label < 0 || label >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, k))
+		}
+		p := g[label] / sum
+		total += -math.Log(math.Max(p, 1e-300))
+		for j := range g {
+			g[j] = (g[j]/sum - oneHot(j, label)) * invN
+		}
+	}
+	return total * invN, grad
+}
+
+func oneHot(j, label int) float64 {
+	if j == label {
+		return 1
+	}
+	return 0
+}
+
+// Probabilities returns the softmax distribution for each row of logits.
+func (SoftmaxCrossEntropy) Probabilities(logits *tensor.Tensor) *tensor.Tensor {
+	n, k := logits.Shape[0], logits.Shape[1]
+	out := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		o := out.Data[i*k : (i+1)*k]
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			o[j] = e
+			sum += e
+		}
+		for j := range o {
+			o[j] /= sum
+		}
+	}
+	return out
+}
+
+// MSE is the mean-squared-error cost of the paper's Section III-C,
+// E = ½ Σ_j (t_j - out_j)², summed over outputs and averaged over the batch.
+// The key-dependent delta rule (Eq. 4) is derived for this loss; it is used
+// by the Theorem 1 experiments.
+type MSE struct{}
+
+// Loss returns the cost and dLoss/dOutput for predictions and targets of
+// identical shape [N, K].
+func (MSE) Loss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if pred.Len() != target.Len() {
+		panic("nn: MSE shape mismatch")
+	}
+	n := pred.Shape[0]
+	invN := 1 / float64(n)
+	grad := tensor.New(pred.Shape...)
+	total := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		total += 0.5 * d * d
+		grad.Data[i] = d * invN
+	}
+	return total * invN, grad
+}

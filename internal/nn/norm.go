@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"hpnn/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of [N, C, H, W] activations over the
+// batch and spatial dimensions, with learnable scale (gamma) and shift
+// (beta) and running statistics for inference. ResNet-18 uses it after
+// every convolution.
+type BatchNorm2D struct {
+	C        int
+	Eps      float64
+	Momentum float64 // running-stat update rate, e.g. 0.1
+
+	Gamma, Beta *Param
+	RunMean     *tensor.Tensor
+	RunVar      *tensor.Tensor
+
+	// caches from the last training forward
+	lastXHat  *tensor.Tensor
+	lastStd   []float64
+	lastShape []int
+}
+
+// NewBatchNorm2D constructs a batch-norm layer for c channels.
+func NewBatchNorm2D(c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		C:        c,
+		Eps:      1e-5,
+		Momentum: 0.1,
+		Gamma:    NewParam(fmt.Sprintf("bn_%d.gamma", c), c),
+		Beta:     NewParam(fmt.Sprintf("bn_%d.beta", c), c),
+		RunMean:  tensor.New(c),
+		RunVar:   tensor.New(c),
+	}
+	bn.Gamma.Value.Fill(1)
+	bn.RunVar.Fill(1)
+	return bn
+}
+
+// Name implements Layer.
+func (b *BatchNorm2D) Name() string { return fmt.Sprintf("BatchNorm2D(%d)", b.C) }
+
+// Params implements Layer.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Forward implements Layer.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != b.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D(%d) got %v", b.C, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	pix := h * w
+	cnt := float64(n * pix)
+	y := tensor.New(x.Shape...)
+	b.lastShape = append(b.lastShape[:0], x.Shape...)
+
+	if train {
+		b.lastXHat = tensor.New(x.Shape...)
+		if len(b.lastStd) != c {
+			b.lastStd = make([]float64, c)
+		}
+		tensor.Parallel(c, func(ch int) {
+			mean := 0.0
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * pix
+				for p := 0; p < pix; p++ {
+					mean += x.Data[base+p]
+				}
+			}
+			mean /= cnt
+			variance := 0.0
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * pix
+				for p := 0; p < pix; p++ {
+					d := x.Data[base+p] - mean
+					variance += d * d
+				}
+			}
+			variance /= cnt
+			std := math.Sqrt(variance + b.Eps)
+			b.lastStd[ch] = std
+			g, be := b.Gamma.Value.Data[ch], b.Beta.Value.Data[ch]
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * pix
+				for p := 0; p < pix; p++ {
+					xh := (x.Data[base+p] - mean) / std
+					b.lastXHat.Data[base+p] = xh
+					y.Data[base+p] = g*xh + be
+				}
+			}
+			b.RunMean.Data[ch] = (1-b.Momentum)*b.RunMean.Data[ch] + b.Momentum*mean
+			b.RunVar.Data[ch] = (1-b.Momentum)*b.RunVar.Data[ch] + b.Momentum*variance
+		})
+		return y
+	}
+
+	tensor.Parallel(c, func(ch int) {
+		mean := b.RunMean.Data[ch]
+		std := math.Sqrt(b.RunVar.Data[ch] + b.Eps)
+		g, be := b.Gamma.Value.Data[ch], b.Beta.Value.Data[ch]
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * pix
+			for p := 0; p < pix; p++ {
+				y.Data[base+p] = g*(x.Data[base+p]-mean)/std + be
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer (training mode statistics).
+func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := b.lastShape[0], b.lastShape[1], b.lastShape[2], b.lastShape[3]
+	pix := h * w
+	cnt := float64(n * pix)
+	dx := tensor.New(grad.Shape...)
+	tensor.Parallel(c, func(ch int) {
+		g := b.Gamma.Value.Data[ch]
+		std := b.lastStd[ch]
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * pix
+			for p := 0; p < pix; p++ {
+				dy := grad.Data[base+p]
+				sumDy += dy
+				sumDyXhat += dy * b.lastXHat.Data[base+p]
+			}
+		}
+		b.Beta.Grad.Data[ch] += sumDy
+		b.Gamma.Grad.Data[ch] += sumDyXhat
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * pix
+			for p := 0; p < pix; p++ {
+				dy := grad.Data[base+p]
+				xh := b.lastXHat.Data[base+p]
+				dx.Data[base+p] = g / std * (dy - sumDy/cnt - xh*sumDyXhat/cnt)
+			}
+		}
+	})
+	return dx
+}

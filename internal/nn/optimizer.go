@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"math"
+
+	"hpnn/internal/tensor"
+)
+
+// Optimizer updates network parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and zeroes the gradients.
+	Step(params []*Param)
+	// SetLR changes the learning rate (used by schedules and the Fig. 6
+	// hyperparameter sweeps).
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+}
+
+// SGD is stochastic gradient descent with optional momentum and L2 weight
+// decay. With Momentum == 0 it is the plain delta rule of Eq. (3).
+type SGD struct {
+	Rate        float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{Rate: lr} }
+
+// NewMomentumSGD returns SGD with momentum and weight decay, the
+// configuration used for the CNN training runs.
+func NewMomentumSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{Rate: lr, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.Rate }
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.Rate = lr }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad
+		if s.WeightDecay != 0 {
+			g.AddScaled(s.WeightDecay, p.Value)
+		}
+		if s.Momentum != 0 {
+			if s.velocity == nil {
+				s.velocity = make(map[*Param]*tensor.Tensor)
+			}
+			v := s.velocity[p]
+			if v == nil {
+				v = tensor.New(p.Value.Shape...)
+				s.velocity[p] = v
+			}
+			v.Scale(s.Momentum)
+			v.AddScaled(1, g)
+			p.Value.AddScaled(-s.Rate, v)
+		} else {
+			p.Value.AddScaled(-s.Rate, g)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	Rate, Beta1, Beta2, Eps float64
+	WeightDecay             float64
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+// NewAdam returns an Adam optimizer with standard hyperparameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{Rate: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.Rate }
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.Rate = lr }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	if a.m == nil {
+		a.m = make(map[*Param]*tensor.Tensor)
+		a.v = make(map[*Param]*tensor.Tensor)
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		g := p.Grad
+		if a.WeightDecay != 0 {
+			g.AddScaled(a.WeightDecay, p.Value)
+		}
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = tensor.New(p.Value.Shape...)
+			v = tensor.New(p.Value.Shape...)
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i, gi := range g.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*gi
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*gi*gi
+			mh := m.Data[i] / c1
+			vh := v.Data[i] / c2
+			p.Value.Data[i] -= a.Rate * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm. Returns the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// StepDecay returns lr decayed by factor every interval epochs, the
+// schedule used by the longer CNN runs.
+func StepDecay(base float64, epoch, interval int, factor float64) float64 {
+	if interval <= 0 {
+		return base
+	}
+	return base * math.Pow(factor, float64(epoch/interval))
+}

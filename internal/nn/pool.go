@@ -1,0 +1,269 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"hpnn/internal/tensor"
+)
+
+// MaxPool is a 2-D max-pooling layer over [N, C, H, W] batches.
+type MaxPool struct {
+	Geom tensor.ConvGeom // InC/InH/InW describe per-sample input; KH/KW/Stride the window
+
+	lastArg []int // flat input index chosen per output element
+	lastN   int
+}
+
+// NewMaxPool constructs a max-pooling layer. The geometry's InC/InH/InW
+// must match the incoming feature maps; Pad is honoured with -inf padding
+// semantics (padded cells never win).
+func NewMaxPool(g tensor.ConvGeom) *MaxPool {
+	if err := g.Validate(); err != nil {
+		panic("nn: " + err.Error())
+	}
+	return &MaxPool{Geom: g}
+}
+
+// Name implements Layer.
+func (m *MaxPool) Name() string {
+	return fmt.Sprintf("MaxPool(%dx%d, s%d)", m.Geom.KH, m.Geom.KW, m.Geom.Stride)
+}
+
+// Params implements Layer.
+func (m *MaxPool) Params() []*Param { return nil }
+
+// OutShape returns the per-sample output dimensions.
+func (m *MaxPool) OutShape() (int, int, int) {
+	return m.Geom.InC, m.Geom.OutH(), m.Geom.OutW()
+}
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := m.Geom
+	n := x.Shape[0]
+	outH, outW := g.OutH(), g.OutW()
+	featIn := g.InC * g.InH * g.InW
+	featOut := g.InC * outH * outW
+	out := tensor.New(n, g.InC, outH, outW)
+	if len(m.lastArg) != n*featOut {
+		m.lastArg = make([]int, n*featOut)
+	}
+	m.lastN = n
+	tensor.Parallel(n, func(i int) {
+		src := x.Data[i*featIn : (i+1)*featIn]
+		dst := out.Data[i*featOut : (i+1)*featOut]
+		arg := m.lastArg[i*featOut : (i+1)*featOut]
+		o := 0
+		for c := 0; c < g.InC; c++ {
+			base := c * g.InH * g.InW
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride + ky - g.Pad
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride + kx - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							idx := base + iy*g.InW + ix
+							if src[idx] > best {
+								best = src[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					dst[o] = best
+					arg[o] = bestIdx
+					o++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := m.Geom
+	n := m.lastN
+	featIn := g.InC * g.InH * g.InW
+	featOut := g.InC * g.OutH() * g.OutW()
+	dx := tensor.New(n, g.InC, g.InH, g.InW)
+	tensor.Parallel(n, func(i int) {
+		src := grad.Data[i*featOut : (i+1)*featOut]
+		dst := dx.Data[i*featIn : (i+1)*featIn]
+		arg := m.lastArg[i*featOut : (i+1)*featOut]
+		for o, a := range arg {
+			if a >= 0 {
+				dst[a] += src[o]
+			}
+		}
+	})
+	return dx
+}
+
+// AvgPool is a 2-D average-pooling layer (zero-padding contributes to the
+// divisor only through the fixed window size, matching the common
+// count_include_pad=true convention).
+type AvgPool struct {
+	Geom  tensor.ConvGeom
+	lastN int
+}
+
+// NewAvgPool constructs an average-pooling layer.
+func NewAvgPool(g tensor.ConvGeom) *AvgPool {
+	if err := g.Validate(); err != nil {
+		panic("nn: " + err.Error())
+	}
+	return &AvgPool{Geom: g}
+}
+
+// Name implements Layer.
+func (a *AvgPool) Name() string {
+	return fmt.Sprintf("AvgPool(%dx%d, s%d)", a.Geom.KH, a.Geom.KW, a.Geom.Stride)
+}
+
+// Params implements Layer.
+func (a *AvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (a *AvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := a.Geom
+	n := x.Shape[0]
+	outH, outW := g.OutH(), g.OutW()
+	featIn := g.InC * g.InH * g.InW
+	featOut := g.InC * outH * outW
+	a.lastN = n
+	out := tensor.New(n, g.InC, outH, outW)
+	inv := 1 / float64(g.KH*g.KW)
+	tensor.Parallel(n, func(i int) {
+		src := x.Data[i*featIn : (i+1)*featIn]
+		dst := out.Data[i*featOut : (i+1)*featOut]
+		o := 0
+		for c := 0; c < g.InC; c++ {
+			base := c * g.InH * g.InW
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					s := 0.0
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride + ky - g.Pad
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride + kx - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							s += src[base+iy*g.InW+ix]
+						}
+					}
+					dst[o] = s * inv
+					o++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (a *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := a.Geom
+	n := a.lastN
+	outH, outW := g.OutH(), g.OutW()
+	featIn := g.InC * g.InH * g.InW
+	featOut := g.InC * outH * outW
+	dx := tensor.New(n, g.InC, g.InH, g.InW)
+	inv := 1 / float64(g.KH*g.KW)
+	tensor.Parallel(n, func(i int) {
+		src := grad.Data[i*featOut : (i+1)*featOut]
+		dst := dx.Data[i*featIn : (i+1)*featIn]
+		o := 0
+		for c := 0; c < g.InC; c++ {
+			base := c * g.InH * g.InW
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					gv := src[o] * inv
+					o++
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride + ky - g.Pad
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride + kx - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							dst[base+iy*g.InW+ix] += gv
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx
+}
+
+// GlobalAvgPool averages each channel's full spatial map, producing [N, C].
+// ResNet-18 uses it ahead of the final classifier.
+type GlobalAvgPool struct {
+	lastShape []int
+}
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return "GlobalAvgPool" }
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool expects [N,C,H,W], got %v", x.Shape))
+	}
+	g.lastShape = append(g.lastShape[:0], x.Shape...)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	pix := h * w
+	out := tensor.New(n, c)
+	inv := 1 / float64(pix)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * pix
+			s := 0.0
+			for p := 0; p < pix; p++ {
+				s += x.Data[base+p]
+			}
+			out.Data[i*c+ch] = s * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
+	pix := h * w
+	dx := tensor.New(n, c, h, w)
+	inv := 1 / float64(pix)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			gv := grad.Data[i*c+ch] * inv
+			base := (i*c + ch) * pix
+			for p := 0; p < pix; p++ {
+				dx.Data[base+p] = gv
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"fmt"
+
+	"hpnn/internal/tensor"
+)
+
+// Residual is a skip-connection block: out = Post(Body(x) + Skip(x)).
+//
+// Body carries the main transform (conv-bn-lock-relu-conv-bn in a ResNet
+// basic block); Skip is the projection path (nil for identity, or a 1×1
+// strided conv + bn when shapes change); Post applies the stages after the
+// join (the block's final lock + ReLU).
+type Residual struct {
+	Body *Network
+	Skip *Network // nil means identity
+	Post *Network // may be empty
+
+	lastBodyOut *tensor.Tensor
+}
+
+// NewResidual constructs a residual block.
+func NewResidual(body, skip, post *Network) *Residual {
+	if body == nil {
+		panic("nn: Residual requires a body")
+	}
+	if post == nil {
+		post = NewNetwork()
+	}
+	return &Residual{Body: body, Skip: skip, Post: post}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string {
+	skip := "identity"
+	if r.Skip != nil {
+		skip = fmt.Sprintf("%d-layer projection", len(r.Skip.Layers))
+	}
+	return fmt.Sprintf("Residual(body=%d layers, skip=%s, post=%d layers)",
+		len(r.Body.Layers), skip, len(r.Post.Layers))
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	ps := r.Body.Params()
+	if r.Skip != nil {
+		ps = append(ps, r.Skip.Params()...)
+	}
+	ps = append(ps, r.Post.Params()...)
+	return ps
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	body := r.Body.Forward(x, train)
+	var skip *tensor.Tensor
+	if r.Skip != nil {
+		skip = r.Skip.Forward(x, train)
+	} else {
+		skip = x
+	}
+	if body.Len() != skip.Len() {
+		panic(fmt.Sprintf("nn: residual join mismatch %v vs %v", body.Shape, skip.Shape))
+	}
+	sum := tensor.New(body.Shape...)
+	for i := range sum.Data {
+		sum.Data[i] = body.Data[i] + skip.Data[i]
+	}
+	r.lastBodyOut = body
+	return r.Post.Forward(sum, train)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gSum := r.Post.Backward(grad)
+	gBody := r.Body.Backward(gSum)
+	var gSkip *tensor.Tensor
+	if r.Skip != nil {
+		gSkip = r.Skip.Backward(gSum)
+	} else {
+		gSkip = gSum
+	}
+	dx := tensor.New(gBody.Shape...)
+	for i := range dx.Data {
+		dx.Data[i] = gBody.Data[i] + gSkip.Data[i]
+	}
+	return dx
+}

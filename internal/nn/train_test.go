@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// makeBlobs builds a linearly-inseparable 2-D two-class dataset (XOR-style
+// quadrant blobs) for optimizer convergence tests.
+func makeBlobs(r *rng.Rand, n int) (*tensor.Tensor, []int) {
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cx := float64(1 - 2*(r.Intn(2)))
+		cy := float64(1 - 2*(r.Intn(2)))
+		x.Set(cx+0.3*r.Norm(), i, 0)
+		x.Set(cy+0.3*r.Norm(), i, 1)
+		if cx*cy > 0 {
+			labels[i] = 1
+		}
+	}
+	return x, labels
+}
+
+func trainAccuracy(net *Network, x *tensor.Tensor, labels []int) float64 {
+	out := net.Forward(x, false)
+	k := out.Shape[1]
+	correct := 0
+	for i := range labels {
+		if tensor.Argmax(out.Data[i*k:(i+1)*k]) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+func TestSGDLearnsXOR(t *testing.T) {
+	r := rng.New(100)
+	x, labels := makeBlobs(r, 200)
+	net := NewNetwork(
+		NewDense(2, 16).InitHe(r), NewReLU(),
+		NewDense(16, 2).InitHe(r),
+	)
+	opt := NewMomentumSGD(0.1, 0.9, 0)
+	loss := SoftmaxCrossEntropy{}
+	for epoch := 0; epoch < 120; epoch++ {
+		out := net.Forward(x, true)
+		_, g := loss.Loss(out, labels)
+		net.Backward(g)
+		opt.Step(net.Params())
+	}
+	if acc := trainAccuracy(net, x, labels); acc < 0.95 {
+		t.Fatalf("SGD failed to learn XOR blobs: accuracy %v", acc)
+	}
+}
+
+func TestAdamLearnsXOR(t *testing.T) {
+	r := rng.New(101)
+	x, labels := makeBlobs(r, 200)
+	net := NewNetwork(
+		NewDense(2, 16).InitHe(r), NewReLU(),
+		NewDense(16, 2).InitHe(r),
+	)
+	opt := NewAdam(0.01)
+	loss := SoftmaxCrossEntropy{}
+	for epoch := 0; epoch < 120; epoch++ {
+		out := net.Forward(x, true)
+		_, g := loss.Loss(out, labels)
+		net.Backward(g)
+		opt.Step(net.Params())
+	}
+	if acc := trainAccuracy(net, x, labels); acc < 0.95 {
+		t.Fatalf("Adam failed to learn XOR blobs: accuracy %v", acc)
+	}
+}
+
+// TestLockedTrainingCollapsesWithoutLock is the core HPNN behaviour at
+// miniature scale: a network trained with an engaged lock performs well
+// with the lock engaged and collapses when the lock is removed (the
+// attacker's baseline-architecture scenario).
+func TestLockedTrainingCollapsesWithoutLock(t *testing.T) {
+	// 4-class quadrant task: fragile enough that removing the lock breaks
+	// the decision boundaries (collapse strength at this toy scale depends
+	// on the key draw; the full-scale behaviour is exercised in the hpnn
+	// integration tests).
+	r := rng.New(102)
+	n := 400
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		q := r.Intn(4)
+		cx := float64(1 - 2*(q&1))
+		cy := float64(1 - 2*((q>>1)&1))
+		x.Set(cx+0.35*r.Norm(), i, 0)
+		x.Set(cy+0.35*r.Norm(), i, 1)
+		labels[i] = q
+	}
+	lock := NewLock("h", 16)
+	bits := make([]byte, 16)
+	for i := range bits {
+		bits[i] = byte(r.Intn(2))
+	}
+	lock.SetBits(bits)
+	net := NewNetwork(
+		NewDense(2, 16).InitHe(r), lock, NewReLU(),
+		NewDense(16, 4).InitHe(r),
+	)
+	opt := NewMomentumSGD(0.1, 0.9, 0)
+	loss := SoftmaxCrossEntropy{}
+	for epoch := 0; epoch < 200; epoch++ {
+		out := net.Forward(x, true)
+		_, g := loss.Loss(out, labels)
+		net.Backward(g)
+		opt.Step(net.Params())
+	}
+	withKey := trainAccuracy(net, x, labels)
+	lock.Disengage()
+	withoutKey := trainAccuracy(net, x, labels)
+	lock.Engage()
+	if withKey < 0.9 {
+		t.Fatalf("locked training failed to converge: %v", withKey)
+	}
+	if withoutKey > withKey-0.2 {
+		t.Fatalf("removing the lock should hurt accuracy: with=%v without=%v", withKey, withoutKey)
+	}
+}
+
+// TestLockGradientMatchesManualDeltaRule verifies Eq. (4)-(5) of the paper
+// directly: for a single locked sigmoid neuron under MSE, the framework's
+// gradient must equal η·δ_j·a with δ_j = (t-out)·f'(L·MAC)·L (up to sign
+// convention: Δw = -η ∂E/∂w).
+func TestLockGradientMatchesManualDeltaRule(t *testing.T) {
+	for _, kj := range []byte{0, 1} {
+		lj := 1.0
+		if kj == 1 {
+			lj = -1
+		}
+		d := NewDense(3, 1)
+		copy(d.W.Value.Data, []float64{0.2, -0.4, 0.7})
+		d.B.Value.Data[0] = 0.1
+		lock := NewLock("n", 1)
+		lock.SetBits([]byte{kj})
+		net := NewNetwork(d, lock, NewSigmoid())
+
+		a := []float64{0.5, -1.0, 2.0}
+		x := tensor.FromSlice(append([]float64(nil), a...), 1, 3)
+		target := tensor.FromSlice([]float64{1}, 1, 1)
+
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		_, g := MSE{}.Loss(out, target)
+		net.Backward(g)
+
+		mac := 0.2*a[0] - 0.4*a[1] + 0.7*a[2] + 0.1
+		f := 1 / (1 + math.Exp(-lj*mac))
+		fprime := f * (1 - f)
+		delta := (f - target.Data[0]) * fprime * lj // dE/dMAC
+		for i := range a {
+			want := delta * a[i] // dE/dw_i
+			got := d.W.Grad.Data[i]
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("k=%d: dE/dw[%d] = %v, want %v", kj, i, got, want)
+			}
+		}
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	p := NewParam("w", 1)
+	p.Value.Data[0] = 1
+	opt := NewMomentumSGD(0.1, 0, 1.0)
+	opt.Step([]*Param{p}) // grad 0 + decay 1*value
+	if p.Value.Data[0] >= 1 {
+		t.Fatalf("weight decay did not shrink weight: %v", p.Value.Data[0])
+	}
+}
+
+func TestOptimizerZeroesGrads(t *testing.T) {
+	p := NewParam("w", 2)
+	p.Grad.Fill(1)
+	NewSGD(0.1).Step([]*Param{p})
+	if p.Grad.Data[0] != 0 || p.Grad.Data[1] != 0 {
+		t.Fatal("SGD.Step must zero gradients")
+	}
+	p.Grad.Fill(1)
+	NewAdam(0.01).Step([]*Param{p})
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("Adam.Step must zero gradients")
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	s := NewSGD(0.1)
+	s.SetLR(0.01)
+	if s.LR() != 0.01 {
+		t.Fatal("SGD SetLR failed")
+	}
+	a := NewAdam(0.1)
+	a.SetLR(0.02)
+	if a.LR() != 0.02 {
+		t.Fatal("Adam SetLR failed")
+	}
+}

@@ -1,0 +1,75 @@
+// Package schedule implements the hardware-specific scheduling algorithm of
+// the paper (§III-D2): the private mapping from locked neurons to the
+// accumulator columns of the matrix-multiply unit.
+//
+// A large DNN has far more locked neurons than the MMU has accumulator
+// units, so many neurons share one column — and therefore one HPNN key bit.
+// The model owner uses the same schedule during training (to derive each
+// neuron's key bit) that the hardware uses at inference time, and the
+// schedule itself is kept private as a second line of defence: an attacker
+// who somehow learned the 256-bit key would still not know which neuron is
+// governed by which bit.
+package schedule
+
+import (
+	"fmt"
+
+	"hpnn/internal/rng"
+)
+
+// Schedule deterministically assigns neurons to accumulator columns. It is
+// parameterized by the column count of the target hardware and a private
+// seed (the "scheduling secret").
+type Schedule struct {
+	columns int
+	seed    uint64
+}
+
+// New creates a schedule for hardware with the given number of accumulator
+// columns (256 for the Google-TPU-like device of the paper).
+func New(columns int, seed uint64) *Schedule {
+	if columns <= 0 {
+		panic(fmt.Sprintf("schedule: invalid column count %d", columns))
+	}
+	return &Schedule{columns: columns, seed: seed}
+}
+
+// Columns returns the hardware column count.
+func (s *Schedule) Columns() int { return s.columns }
+
+// layerPerm returns the keyed column permutation for a layer. Each layer
+// gets its own permutation so identical neuron indices in different layers
+// map to unrelated columns.
+func (s *Schedule) layerPerm(layerID string) []int {
+	h := s.seed
+	for _, c := range layerID {
+		h = rng.Mix64(h ^ uint64(c))
+	}
+	return rng.NewStream(h, rng.Mix64(h)).Perm(s.columns)
+}
+
+// Assign maps the neurons of one locked layer to accumulator columns.
+// Neurons are tiled across the MMU in output order (the natural systolic
+// streaming order), then routed through the layer's private permutation:
+// column(j) = perm[j mod columns]. The result has one entry per neuron.
+func (s *Schedule) Assign(layerID string, neurons int) []int {
+	if neurons < 0 {
+		panic("schedule: negative neuron count")
+	}
+	perm := s.layerPerm(layerID)
+	out := make([]int, neurons)
+	for j := 0; j < neurons; j++ {
+		out[j] = perm[j%s.columns]
+	}
+	return out
+}
+
+// Load returns, for each column, how many neurons of a layer it serves —
+// used by the hardware-utilization diagnostics and tests.
+func (s *Schedule) Load(layerID string, neurons int) []int {
+	load := make([]int, s.columns)
+	for _, c := range s.Assign(layerID, neurons) {
+		load[c]++
+	}
+	return load
+}

@@ -1,0 +1,105 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignDeterministic(t *testing.T) {
+	s1 := New(256, 42)
+	s2 := New(256, 42)
+	a := s1.Assign("conv1", 1000)
+	b := s2.Assign("conv1", 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("assignment diverged at %d", i)
+		}
+	}
+}
+
+func TestAssignSeedPrivacy(t *testing.T) {
+	a := New(256, 1).Assign("conv1", 512)
+	b := New(256, 2).Assign("conv1", 512)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/8 {
+		t.Fatalf("different schedule seeds agree on %d/%d columns — schedule is not private", same, len(a))
+	}
+}
+
+func TestAssignLayerSeparation(t *testing.T) {
+	s := New(256, 7)
+	a := s.Assign("conv1", 256)
+	b := s.Assign("conv2", 256)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 64 {
+		t.Fatalf("layers share %d/256 column assignments — permutations not layer-keyed", same)
+	}
+}
+
+func TestAssignColumnsInRange(t *testing.T) {
+	f := func(seed uint64, colsRaw, nRaw uint16) bool {
+		cols := int(colsRaw%500) + 1
+		n := int(nRaw % 4096)
+		s := New(cols, seed)
+		for _, c := range s.Assign("layer", n) {
+			if c < 0 || c >= cols {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAssignBalanced: the tiling guarantees near-perfect balance — no
+// column serves more than ceil(n/columns) neurons, which is what lets a
+// 256-bit key cover hundreds of thousands of locked neurons.
+func TestAssignBalanced(t *testing.T) {
+	s := New(256, 99)
+	load := s.Load("big", 198144) // CNN2's locked-neuron count from Table I
+	want := 198144 / 256
+	for c, l := range load {
+		if l != want {
+			t.Fatalf("column %d load %d, want %d", c, l, want)
+		}
+	}
+}
+
+func TestFirstTileIsPermutation(t *testing.T) {
+	s := New(128, 5)
+	a := s.Assign("layer", 128)
+	seen := make([]bool, 128)
+	for _, c := range a {
+		if seen[c] {
+			t.Fatal("first tile must visit each column exactly once")
+		}
+		seen[c] = true
+	}
+}
+
+func TestNewPanicsOnBadColumns(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestColumnsAccessor(t *testing.T) {
+	if New(64, 0).Columns() != 64 {
+		t.Fatal("Columns() wrong")
+	}
+}

@@ -1,0 +1,62 @@
+package tensor
+
+import (
+	"testing"
+
+	"hpnn/internal/rng"
+)
+
+func benchTensor(n, m int) *Tensor {
+	t := New(n, m)
+	t.FillNorm(rng.New(1), 0, 1)
+	return t
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	x := benchTensor(128, 128)
+	y := benchTensor(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulNT128(b *testing.B) {
+	x := benchTensor(128, 128)
+	y := benchTensor(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulNT(x, y)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	img := New(16, 32, 32)
+	img.FillNorm(rng.New(2), 0, 1)
+	g := ConvGeom{InC: 16, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	col := New(16*9, 32*32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2ColInto(col, img, g)
+	}
+}
+
+func BenchmarkConvGEMMvsDirect(b *testing.B) {
+	img := New(8, 16, 16)
+	img.FillNorm(rng.New(3), 0, 1)
+	kern := New(16, 8, 3, 3)
+	kern.FillNorm(rng.New(4), 0, 1)
+	g := ConvGeom{InC: 8, InH: 16, InW: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	b.Run("gemm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col := Im2Col(img, g)
+			MatMul(kern.Reshape(16, 8*9), col)
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ConvDirect(img, kern, g)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window.
+type ConvGeom struct {
+	InC, InH, InW int // input channels / height / width
+	KH, KW        int // kernel size
+	Stride        int
+	Pad           int // symmetric zero padding
+}
+
+// OutH returns the output height for the geometry.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width for the geometry.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate checks that the geometry yields a non-empty output.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 {
+		return fmt.Errorf("tensor: invalid input dims %dx%dx%d", g.InC, g.InH, g.InW)
+	}
+	if g.KH <= 0 || g.KW <= 0 || g.Stride <= 0 || g.Pad < 0 {
+		return fmt.Errorf("tensor: invalid kernel %dx%d stride %d pad %d", g.KH, g.KW, g.Stride, g.Pad)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: empty conv output for geom %+v", g)
+	}
+	return nil
+}
+
+// Im2Col lowers a single [C,H,W] image to the column matrix used by
+// GEMM-based convolution. Result shape: [C*KH*KW, OutH*OutW]; column p
+// holds the receptive field of output pixel p, zero-filled where the
+// window overlaps padding.
+func Im2Col(img *Tensor, g ConvGeom) *Tensor {
+	outH, outW := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	cols := outH * outW
+	col := New(rows, cols)
+	Im2ColInto(col, img, g)
+	return col
+}
+
+// Im2ColInto is Im2Col writing into a preallocated destination.
+func Im2ColInto(col, img *Tensor, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := outH * outW
+	src := img.Data
+	dst := col.Data
+	r := 0
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for ky := 0; ky < g.KH; ky++ {
+			for kx := 0; kx < g.KW; kx++ {
+				rowBase := r * cols
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*g.Stride + ky - g.Pad
+					outBase := rowBase + oy*outW
+					if iy < 0 || iy >= g.InH {
+						for ox := 0; ox < outW; ox++ {
+							dst[outBase+ox] = 0
+						}
+						continue
+					}
+					inBase := chanBase + iy*g.InW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix < 0 || ix >= g.InW {
+							dst[outBase+ox] = 0
+						} else {
+							dst[outBase+ox] = src[inBase+ix]
+						}
+					}
+				}
+				r++
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column matrix (the gradient w.r.t. an Im2Col result)
+// back into image space, accumulating overlapping contributions. It is the
+// exact adjoint of Im2Col.
+func Col2Im(col *Tensor, g ConvGeom) *Tensor {
+	img := New(g.InC, g.InH, g.InW)
+	outH, outW := g.OutH(), g.OutW()
+	cols := outH * outW
+	src := col.Data
+	dst := img.Data
+	r := 0
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for ky := 0; ky < g.KH; ky++ {
+			for kx := 0; kx < g.KW; kx++ {
+				rowBase := r * cols
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*g.Stride + ky - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					inBase := chanBase + iy*g.InW
+					outBase := rowBase + oy*outW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						dst[inBase+ix] += src[outBase+ox]
+					}
+				}
+				r++
+			}
+		}
+	}
+	return img
+}
+
+// ConvDirect computes a 2-D convolution of a [C,H,W] image with kernels
+// [outC, C, KH, KW] by direct summation. It is O(outC·C·KH·KW·outH·outW)
+// and exists as the reference implementation that the GEMM path is tested
+// against.
+func ConvDirect(img, kernels *Tensor, g ConvGeom) *Tensor {
+	outC := kernels.Shape[0]
+	outH, outW := g.OutH(), g.OutW()
+	out := New(outC, outH, outW)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				s := 0.0
+				for c := 0; c < g.InC; c++ {
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride + ky - g.Pad
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride + kx - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							s += img.At(c, iy, ix) * kernels.At(oc, c, ky, kx)
+						}
+					}
+				}
+				out.Set(s, oc, oy, ox)
+			}
+		}
+	}
+	return out
+}

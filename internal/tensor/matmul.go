@@ -1,0 +1,129 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n).
+// Rows of the result are computed in parallel.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := dims2(a, "MatMul lhs")
+	k2, n := dims2(b, "MatMul rhs")
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes dst = A·B, reusing dst's storage. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := dims2(a, "MatMul lhs")
+	_, n := dims2(b, "MatMul rhs")
+	if len(dst.Data) != m*n {
+		panic("tensor: MatMulInto destination size mismatch")
+	}
+	ad, bd, cd := a.Data, b.Data, dst.Data
+	Parallel(m, func(i int) {
+		crow := cd[i*n : (i+1)*n]
+		for x := range crow {
+			crow[x] = 0
+		}
+		arow := ad[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	})
+}
+
+// MatMulNT computes C = A·Bᵀ where A is m×k and B is n×k.
+func MatMulNT(a, b *Tensor) *Tensor {
+	m, k := dims2(a, "MatMulNT lhs")
+	n, k2 := dims2(b, "MatMulNT rhs")
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulNT inner dims %d != %d", k, k2))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.Data, b.Data, c.Data
+	Parallel(m, func(i int) {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	})
+	return c
+}
+
+// MatMulTN computes C = Aᵀ·B where A is k×m and B is k×n.
+func MatMulTN(a, b *Tensor) *Tensor {
+	k, m := dims2(a, "MatMulTN lhs")
+	k2, n := dims2(b, "MatMulTN rhs")
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTN inner dims %d != %d", k, k2))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.Data, b.Data, c.Data
+	Parallel(m, func(i int) {
+		crow := cd[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ad[p*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	})
+	return c
+}
+
+// Transpose returns Aᵀ for a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	m, n := dims2(a, "Transpose")
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			t.Data[j*m+i] = v
+		}
+	}
+	return t
+}
+
+// MatVec computes y = A·x for A m×k and x of length k.
+func MatVec(a *Tensor, x []float64) []float64 {
+	m, k := dims2(a, "MatVec")
+	if len(x) != k {
+		panic(fmt.Sprintf("tensor: MatVec vector length %d != %d", len(x), k))
+	}
+	y := make([]float64, m)
+	Parallel(m, func(i int) {
+		row := a.Data[i*k : (i+1)*k]
+		s := 0.0
+		for p, av := range row {
+			s += av * x[p]
+		}
+		y[i] = s
+	})
+	return y
+}
+
+func dims2(t *Tensor, what string) (int, int) {
+	if len(t.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires a 2-D tensor, got %v", what, t.Shape))
+	}
+	return t.Shape[0], t.Shape[1]
+}

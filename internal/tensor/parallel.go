@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps kernel parallelism. It defaults to GOMAXPROCS and can be
+// lowered in tests for determinism probing (results are deterministic either
+// way: work is partitioned, never reduced concurrently into shared state).
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers overrides the kernel worker count; n < 1 resets to
+// GOMAXPROCS. It returns the previous value.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return prev
+}
+
+// Parallel runs fn(i) for i in [0, n) across up to maxWorkers goroutines.
+// Each index is processed exactly once. Small n runs inline to avoid
+// goroutine overhead.
+func Parallel(n int, fn func(i int)) {
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,113 @@
+package tpu
+
+// This file models the key-dependent accumulator of Fig. 4: a 32-bit
+// full-adder chain that accumulates the multiplier unit's 16-bit products,
+// extended with one XOR gate per product bit (16 per accumulator) driven by
+// the accumulator's HPNN key bit k.
+//
+//	k = 0: acc ← acc + p          (plain accumulation)
+//	k = 1: acc ← acc + (~p) + 1 = acc − p   (two's-complement subtraction)
+//
+// The conditional +1 is the adder chain's carry-in — the classic add/sub
+// datapath — so negation costs no extra adder stages and no extra clock
+// cycle, only the XOR gates' combinational delay. The sign-extension wiring
+// replicates the (already XORed) product sign bit, so 16 physical XOR gates
+// suffice for the 32-bit chain.
+
+// Gate-cost constants for one full adder (sum = a⊕b⊕cin, cout = ab + cin(a⊕b)):
+// 2 XOR, 2 AND, 1 OR.
+const (
+	gatesPerFullAdder = 5
+	// ProductBits is the multiplier result width (8×8 → 16 bits).
+	ProductBits = 16
+	// AccBits is the accumulator width.
+	AccBits = 32
+	// XORGatesPerAccumulator is the HPNN overhead per accumulator unit:
+	// one XOR gate per product bit (§III-D1).
+	XORGatesPerAccumulator = ProductBits
+)
+
+// fullAdder is the gate-level primitive. Inputs and outputs are single bits
+// in the low position of a uint32.
+func fullAdder(a, b, cin uint32) (sum, cout uint32) {
+	axb := a ^ b
+	sum = axb ^ cin
+	cout = (a & b) | (cin & axb)
+	return sum, cout
+}
+
+// Accumulator is one key-dependent accumulator unit. GateOps counts the
+// logic-gate evaluations performed in gate-level mode, for the energy/area
+// diagnostics.
+type Accumulator struct {
+	// KeyBit is the HPNN key bit wired to this unit's XOR gates.
+	KeyBit byte
+	// GateLevel selects the bit-level datapath; when false the unit uses
+	// the arithmetically equivalent fast path (equivalence is enforced by
+	// property tests).
+	GateLevel bool
+	// GateOps accumulates gate evaluations (gate-level mode only).
+	GateOps uint64
+
+	acc int32
+}
+
+// Reset clears the accumulator register (bias preloading uses Preload).
+func (u *Accumulator) Reset() { u.acc = 0 }
+
+// Preload sets the accumulator register, used to preload quantized biases.
+func (u *Accumulator) Preload(v int32) { u.acc = v }
+
+// Value returns the accumulator register.
+func (u *Accumulator) Value() int32 { return u.acc }
+
+// AddProduct accumulates one 16-bit multiplier result, applying the
+// key-dependent negation. product must fit in 16 bits (the multiplier
+// output range [-32768, 32767]).
+func (u *Accumulator) AddProduct(product int16) {
+	if u.GateLevel {
+		u.acc = u.addGateLevel(u.acc, product)
+		return
+	}
+	if u.KeyBit&1 == 1 {
+		u.acc -= int32(product)
+	} else {
+		u.acc += int32(product)
+	}
+}
+
+// addGateLevel is the bit-for-bit datapath: XOR the 16 product bits with k,
+// sign-extend the XORed sign bit, then ripple through 32 full adders with
+// carry-in = k.
+func (u *Accumulator) addGateLevel(acc int32, product int16) int32 {
+	k := uint32(u.KeyBit & 1)
+	kMask := -k // 0x00000000 or 0xFFFFFFFF
+
+	// 16 XOR gates on the product bits.
+	p16 := uint32(uint16(product)) ^ (kMask & 0xFFFF)
+	u.GateOps += XORGatesPerAccumulator
+
+	// Sign-extension wiring replicates bit 15 of the XORed product.
+	signBit := (p16 >> 15) & 1
+	p32 := p16 | ((-signBit) << 16)
+
+	// 32-bit ripple-carry full-adder chain, carry-in = k.
+	a := uint32(acc)
+	carry := k
+	var sum uint32
+	for bit := 0; bit < AccBits; bit++ {
+		s, c := fullAdder((a>>bit)&1, (p32>>bit)&1, carry)
+		sum |= s << bit
+		carry = c
+		u.GateOps += gatesPerFullAdder
+	}
+	return int32(sum)
+}
+
+// MAC is one multiply-accumulate cell of the MMU: an 8×8 signed multiplier
+// feeding an accumulator. mul8 models the multiplier behaviourally (its
+// internals are unchanged by HPNN, so gate-level modelling adds nothing to
+// the security analysis; its gate cost is still accounted in gates.go).
+func mul8(a, w int8) int16 {
+	return int16(a) * int16(w)
+}

@@ -1,0 +1,73 @@
+package tpu
+
+import (
+	"testing"
+
+	"hpnn/internal/keys"
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// BenchmarkAccumulatorFastVsGateLevel quantifies the simulation cost of
+// the bit-accurate datapath relative to the arithmetic model.
+func BenchmarkAccumulatorFastVsGateLevel(b *testing.B) {
+	products := make([]int16, 1024)
+	r := rng.New(1)
+	for i := range products {
+		products[i] = int16(r.Intn(65536) - 32768)
+	}
+	b.Run("fast", func(b *testing.B) {
+		u := Accumulator{KeyBit: 1}
+		for i := 0; i < b.N; i++ {
+			u.AddProduct(products[i%len(products)])
+		}
+	})
+	b.Run("gate-level", func(b *testing.B) {
+		u := Accumulator{KeyBit: 1, GateLevel: true}
+		for i := 0; i < b.N; i++ {
+			u.AddProduct(products[i%len(products)])
+		}
+	})
+}
+
+// BenchmarkMMULockedMatMul measures throughput of the simulated MMU with
+// and without key-locking active.
+func BenchmarkMMULockedMatMul(b *testing.B) {
+	const M, K, P = 64, 128, 64
+	r := rng.New(2)
+	w := make([]int8, M*K)
+	x := make([]int8, K*P)
+	for i := range w {
+		w[i] = int8(r.Intn(255) - 127)
+	}
+	for i := range x {
+		x[i] = int8(r.Intn(255) - 127)
+	}
+	cols := make([]int, M*P)
+	for i := range cols {
+		cols[i] = i % keys.KeyBits
+	}
+	dev := keys.NewDevice("bench", keys.Generate(rng.New(3)))
+	b.Run("unlocked", func(b *testing.B) {
+		m, _ := NewMMU(DefaultConfig(), nil)
+		for i := 0; i < b.N; i++ {
+			m.MatMulLocked(w, M, K, x, P, nil, nil)
+		}
+	})
+	b.Run("locked", func(b *testing.B) {
+		m, _ := NewMMU(DefaultConfig(), dev)
+		for i := 0; i < b.N; i++ {
+			m.MatMulLocked(w, M, K, x, P, nil, cols)
+		}
+	})
+}
+
+func BenchmarkQuantize(b *testing.B) {
+	t := tensor.New(4096)
+	t.FillNorm(rng.New(4), 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Quantize(t)
+	}
+}

@@ -1,0 +1,44 @@
+package tpu
+
+// Energy model for the simulated accelerator. Constants are typical
+// 45 nm-class CMOS energy figures (Horowitz, ISSCC 2014 keynote): an 8-bit
+// multiply ≈ 0.2 pJ, a 32-bit integer add ≈ 0.1 pJ, and a 2-input XOR is
+// two orders of magnitude below an add. The model exists to put a number
+// on the paper's "lightweight" claim: the HPNN key gates are invisible in
+// the energy budget, unlike the per-load AES decryption of the §II
+// baseline.
+
+// Energy constants in picojoules per operation.
+const (
+	EnergyMul8pJ   = 0.2   // 8×8-bit multiply
+	EnergyAdd32pJ  = 0.1   // 32-bit accumulate
+	EnergyXORpJ    = 0.002 // one 16-gate XOR bank evaluation per product
+	EnergySRAMpJ   = 5.0   // per 64-bit on-chip SRAM access (weights/activations)
+	wordsPerAccess = 8     // int8 values per 64-bit access
+)
+
+// EnergyReport breaks an inference workload's energy down by component.
+type EnergyReport struct {
+	// MACpJ is multiply+accumulate energy; XORpJ is the HPNN addition;
+	// SRAMpJ approximates weight/activation movement for the tile passes.
+	MACpJ, XORpJ, SRAMpJ float64
+	// TotalpJ is the sum; OverheadPct is the XOR share of the total.
+	TotalpJ     float64
+	OverheadPct float64
+}
+
+// Energy estimates the energy of the activity in s. Locked outputs are
+// charged one XOR-bank evaluation per accumulated product; unlocked MACs
+// pay nothing extra (the gates are still switched but with k = 0 they are
+// accounted at the same constant — the overhead bound is conservative).
+func Energy(s Stats) EnergyReport {
+	var r EnergyReport
+	r.MACpJ = float64(s.MACs) * (EnergyMul8pJ + EnergyAdd32pJ)
+	r.XORpJ = float64(s.MACs) * EnergyXORpJ
+	r.SRAMpJ = float64(s.MACs) / wordsPerAccess * EnergySRAMpJ / 8
+	r.TotalpJ = r.MACpJ + r.XORpJ + r.SRAMpJ
+	if r.TotalpJ > 0 {
+		r.OverheadPct = 100 * r.XORpJ / r.TotalpJ
+	}
+	return r
+}

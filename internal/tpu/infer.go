@@ -1,0 +1,107 @@
+package tpu
+
+import (
+	"fmt"
+	"math"
+
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/schedule"
+	"hpnn/internal/tensor"
+)
+
+// Accelerator is the full trusted inference device: the key-dependent MMU,
+// the sealed key store and the (private) neuron→column schedule. It runs a
+// published HPNN model end-to-end on the int8 datapath; the model's own
+// Lock layers are ignored — locking happens in hardware, driven by the
+// on-chip key, exactly as an authorized end-user would experience it.
+//
+// Models are compiled before execution (see plan.go): batch-norm folds
+// into the convolutions and residual blocks lower onto the vector unit, so
+// both the sequential CNNs of Table I and the ResNet-18 of Fig. 3 run on
+// the device.
+type Accelerator struct {
+	mmu   *MMU
+	sched *schedule.Schedule
+	bits  int
+
+	plans map[*core.Model][]planOp
+}
+
+// NewAccelerator builds a trusted device simulator. dev may be nil to model
+// a commodity accelerator without the HPNN key (an attacker's hardware).
+func NewAccelerator(cfg Config, dev *keys.Device, sched *schedule.Schedule) (*Accelerator, error) {
+	mmu, err := NewMMU(cfg, dev)
+	if err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("tpu: accelerator requires a schedule")
+	}
+	bits := cfg.Bits
+	if bits == 0 {
+		bits = 8
+	}
+	if bits < 2 || bits > 8 {
+		return nil, fmt.Errorf("tpu: datapath width %d bits out of supported range [2,8]", bits)
+	}
+	return &Accelerator{mmu: mmu, sched: sched, bits: bits, plans: make(map[*core.Model][]planOp)}, nil
+}
+
+// Stats returns the hardware activity counters accumulated so far.
+func (a *Accelerator) Stats() Stats { return a.mmu.Stats() }
+
+// ResetStats clears the activity counters.
+func (a *Accelerator) ResetStats() { a.mmu.ResetStats() }
+
+// quantize converts to the accelerator's datapath width.
+func (a *Accelerator) quantize(t *tensor.Tensor) *QTensor { return QuantizeTo(t, a.bits) }
+
+// Predict runs x ([N, C, H, W]) through the model on the simulated
+// hardware and returns the argmax class per sample.
+func (a *Accelerator) Predict(m *core.Model, x *tensor.Tensor) ([]int, error) {
+	plan, ok := a.plans[m]
+	if !ok {
+		var err error
+		if plan, err = compileModel(m); err != nil {
+			return nil, err
+		}
+		a.plans[m] = plan
+	}
+	n := x.Shape[0]
+	feat := x.Len() / maxInt(n, 1)
+	preds := make([]int, n)
+	for i := 0; i < n; i++ {
+		sample := tensor.FromSlice(x.Data[i*feat:(i+1)*feat], x.Shape[1:]...)
+		out, err := runOps(a, plan, sample)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = tensor.Argmax(out.Data)
+	}
+	return preds, nil
+}
+
+// Accuracy evaluates hardware-inference accuracy on (x, y).
+func (a *Accelerator) Accuracy(m *core.Model, x *tensor.Tensor, y []int) (float64, error) {
+	preds, err := a.Predict(m, x)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(maxInt(len(y), 1)), nil
+}
+
+func sqrtf(x float64) float64 { return math.Sqrt(x) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,349 @@
+package tpu
+
+import (
+	"fmt"
+
+	"hpnn/internal/core"
+	"hpnn/internal/nn"
+	"hpnn/internal/tensor"
+)
+
+// This file is the accelerator's model compiler: it lowers a trained
+// network into a sequence of hardware operations before execution.
+//
+//   - Conv2D/Dense (+ following BatchNorm, Lock, ReLU) fuse into one MAC
+//     operation: batch-norm parameters fold into the weights and bias
+//     (standard inference-time folding), the lock rides the accumulator
+//     key bits and ReLU runs on the activation unit.
+//   - Pooling/flatten run on the vector unit.
+//   - Residual blocks compile recursively; the join is an elementwise add
+//     on the vector unit, and the block's post Lock+ReLU becomes a
+//     vector-unit lock (the same XOR-negation gates, placed on the
+//     activation unit's input bus).
+//
+// This is what lets the full ResNet-18 of Fig. 3/Fig. 5 execute on the
+// simulated device, not just the sequential CNNs of Table I.
+
+// planOp is one compiled accelerator operation.
+type planOp interface {
+	apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error)
+	opName() string
+}
+
+// compile lowers a network into accelerator operations.
+func compile(net *nn.Network) ([]planOp, error) {
+	var ops []planOp
+	layers := net.Layers
+	for i := 0; i < len(layers); i++ {
+		switch l := layers[i].(type) {
+		case *nn.Conv2D:
+			op, consumed, err := fuseMAC(layers, i)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, op)
+			i += consumed
+			_ = l
+		case *nn.Dense:
+			op, consumed, err := fuseMAC(layers, i)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, op)
+			i += consumed
+		case *nn.MaxPool, *nn.AvgPool, *nn.GlobalAvgPool, *nn.Flatten:
+			ops = append(ops, vectorOp{layer: layers[i]})
+		case *nn.ReLU:
+			ops = append(ops, lockReluOp{relu: true})
+		case *nn.Lock:
+			relu := false
+			if i+1 < len(layers) {
+				if _, ok := layers[i+1].(*nn.ReLU); ok {
+					relu = true
+					i++
+				}
+			}
+			ops = append(ops, lockReluOp{lockID: l.ID, neurons: l.Neurons(), relu: relu})
+		case *nn.BatchNorm2D:
+			// Standalone BN (not behind a conv): eval-mode affine.
+			ops = append(ops, affineOp{bn: l})
+		case *nn.Residual:
+			body, err := compile(l.Body)
+			if err != nil {
+				return nil, err
+			}
+			var skip []planOp
+			if l.Skip != nil {
+				if skip, err = compile(l.Skip); err != nil {
+					return nil, err
+				}
+			}
+			post, err := compile(l.Post)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, residualOp{body: body, skip: skip, post: post})
+		default:
+			return nil, fmt.Errorf("tpu: layer %s is not supported on the accelerator datapath", layers[i].Name())
+		}
+	}
+	return ops, nil
+}
+
+// fuseMAC fuses a Conv2D or Dense at index i with an optional following
+// BatchNorm2D, Lock and ReLU, returning the fused op and how many extra
+// layers were consumed.
+func fuseMAC(layers []nn.Layer, i int) (planOp, int, error) {
+	consumed := 0
+	next := func() nn.Layer {
+		if i+consumed+1 < len(layers) {
+			return layers[i+consumed+1]
+		}
+		return nil
+	}
+
+	var bn *nn.BatchNorm2D
+	if b, ok := next().(*nn.BatchNorm2D); ok {
+		bn = b
+		consumed++
+	}
+	var lockID string
+	var lockN int
+	if l, ok := next().(*nn.Lock); ok {
+		lockID = l.ID
+		lockN = l.Neurons()
+		consumed++
+	}
+	relu := false
+	if _, ok := next().(*nn.ReLU); ok {
+		relu = true
+		consumed++
+	}
+
+	switch mac := layers[i].(type) {
+	case *nn.Conv2D:
+		w, b := foldBN(mac.W.Value, mac.B.Value, mac.OutC, bn)
+		return convOp{
+			geom: mac.Geom, outC: mac.OutC,
+			w: w, b: b,
+			lockID: lockID, lockN: lockN, relu: relu,
+		}, consumed, nil
+	case *nn.Dense:
+		if bn != nil {
+			return nil, 0, fmt.Errorf("tpu: BatchNorm2D after Dense is not supported")
+		}
+		return denseOp{
+			in: mac.In, out: mac.Out,
+			w: mac.W.Value, b: mac.B.Value,
+			lockID: lockID, lockN: lockN, relu: relu,
+		}, consumed, nil
+	default:
+		return nil, 0, fmt.Errorf("tpu: fuseMAC on non-MAC layer %s", layers[i].Name())
+	}
+}
+
+// foldBN folds eval-mode batch-norm into convolution weights and bias:
+// scale_c = γ_c/√(var_c+ε);  W'_c = scale_c·W_c;  b'_c = scale_c·(b_c−μ_c)+β_c.
+// With bn == nil the original tensors are returned unchanged.
+func foldBN(w, b *tensor.Tensor, outC int, bn *nn.BatchNorm2D) (*tensor.Tensor, *tensor.Tensor) {
+	if bn == nil {
+		return w, b
+	}
+	k := w.Len() / outC
+	fw := w.Clone()
+	fb := b.Clone()
+	for c := 0; c < outC; c++ {
+		std := sqrtf(bn.RunVar.Data[c] + bn.Eps)
+		scale := bn.Gamma.Value.Data[c] / std
+		row := fw.Data[c*k : (c+1)*k]
+		for j := range row {
+			row[j] *= scale
+		}
+		fb.Data[c] = scale*(b.Data[c]-bn.RunMean.Data[c]) + bn.Beta.Value.Data[c]
+	}
+	return fw, fb
+}
+
+// --- ops ---------------------------------------------------------------------
+
+// convOp is a fused convolution (+BN) (+lock) (+ReLU) on the MMU.
+type convOp struct {
+	geom   tensor.ConvGeom
+	outC   int
+	w, b   *tensor.Tensor
+	lockID string
+	lockN  int
+	relu   bool
+}
+
+func (o convOp) opName() string { return "conv" }
+
+func (o convOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	g := o.geom
+	if len(act.Shape) != 3 || act.Shape[0] != g.InC || act.Shape[1] != g.InH || act.Shape[2] != g.InW {
+		return nil, fmt.Errorf("tpu: conv input %v does not match geometry %+v", act.Shape, g)
+	}
+	col := tensor.Im2Col(act, g)
+	qIn := a.quantize(col)
+	qW := a.quantize(o.w)
+	accScale := qIn.Scale * qW.Scale
+	bias := QuantizeBias(o.b, accScale)
+	pix := g.OutH() * g.OutW()
+
+	var cols []int
+	if o.lockID != "" {
+		cols = a.sched.Assign(o.lockID, o.outC*pix)
+	}
+	acc := a.mmu.MatMulLocked(qW.Data, o.outC, g.InC*g.KH*g.KW, qIn.Data, pix, bias, cols)
+	return finishMAC(acc, accScale, o.relu, []int{o.outC, g.OutH(), g.OutW()}), nil
+}
+
+// denseOp is a fused fully-connected (+lock) (+ReLU) on the MMU.
+type denseOp struct {
+	in, out int
+	w, b    *tensor.Tensor
+	lockID  string
+	lockN   int
+	relu    bool
+}
+
+func (o denseOp) opName() string { return "dense" }
+
+func (o denseOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	if act.Len() != o.in {
+		return nil, fmt.Errorf("tpu: dense input %d does not match layer width %d", act.Len(), o.in)
+	}
+	qIn := a.quantize(act)
+	qW := a.quantize(o.w)
+	accScale := qIn.Scale * qW.Scale
+	bias := QuantizeBias(o.b, accScale)
+
+	var cols []int
+	if o.lockID != "" {
+		cols = a.sched.Assign(o.lockID, o.out)
+	}
+	acc := a.mmu.MatMulLocked(qW.Data, o.out, o.in, qIn.Data, 1, bias, cols)
+	return finishMAC(acc, accScale, o.relu, []int{o.out}), nil
+}
+
+// vectorOp runs a stateless pooling/reshape layer on the vector unit.
+type vectorOp struct {
+	layer nn.Layer
+}
+
+func (o vectorOp) opName() string { return "vector:" + o.layer.Name() }
+
+func (o vectorOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	batched := act.Reshape(append([]int{1}, act.Shape...)...)
+	out := o.layer.Forward(batched, false)
+	return out.Reshape(out.Shape[1:]...), nil
+}
+
+// lockReluOp applies a standalone lock (XOR-negation on the vector unit's
+// input bus) and/or ReLU — used after residual joins and for bare ReLUs.
+type lockReluOp struct {
+	lockID  string
+	neurons int
+	relu    bool
+}
+
+func (o lockReluOp) opName() string { return "lockrelu" }
+
+func (o lockReluOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	out := act.Clone()
+	if o.lockID != "" {
+		if act.Len() != o.neurons {
+			return nil, fmt.Errorf("tpu: lock %s sized %d applied to %d activations", o.lockID, o.neurons, act.Len())
+		}
+		cols := a.sched.Assign(o.lockID, o.neurons)
+		for j := range out.Data {
+			if a.mmu.columnBit(cols[j]) == 1 {
+				out.Data[j] = -out.Data[j]
+			}
+		}
+	}
+	if o.relu {
+		for j, v := range out.Data {
+			if v < 0 {
+				out.Data[j] = 0
+			}
+		}
+	}
+	return out, nil
+}
+
+// affineOp is a standalone eval-mode batch-norm (rare: only when a BN is
+// not preceded by a conv).
+type affineOp struct {
+	bn *nn.BatchNorm2D
+}
+
+func (o affineOp) opName() string { return "affine" }
+
+func (o affineOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	batched := act.Reshape(append([]int{1}, act.Shape...)...)
+	out := o.bn.Forward(batched, false)
+	return out.Reshape(out.Shape[1:]...), nil
+}
+
+// residualOp executes a compiled residual block: body and skip paths, an
+// elementwise join on the vector unit, then the post ops.
+type residualOp struct {
+	body, skip, post []planOp
+}
+
+func (o residualOp) opName() string { return "residual" }
+
+func (o residualOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	body, err := runOps(a, o.body, act)
+	if err != nil {
+		return nil, err
+	}
+	skip := act
+	if o.skip != nil {
+		if skip, err = runOps(a, o.skip, act); err != nil {
+			return nil, err
+		}
+	}
+	if body.Len() != skip.Len() {
+		return nil, fmt.Errorf("tpu: residual join mismatch %v vs %v", body.Shape, skip.Shape)
+	}
+	sum := tensor.New(body.Shape...)
+	for i := range sum.Data {
+		sum.Data[i] = body.Data[i] + skip.Data[i]
+	}
+	return runOps(a, o.post, sum)
+}
+
+func runOps(a *Accelerator, ops []planOp, act *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for _, op := range ops {
+		if act, err = op.apply(a, act); err != nil {
+			return nil, fmt.Errorf("%s: %w", op.opName(), err)
+		}
+	}
+	return act, nil
+}
+
+// finishMAC applies the activation unit (ReLU + requantize) or plain
+// dequantization for outputs that feed the vector unit or the logits.
+func finishMAC(acc []int32, accScale float64, relu bool, shape []int) *tensor.Tensor {
+	out := tensor.New(shape...)
+	if relu {
+		q, scale := ReLUQuantize(acc, accScale)
+		for i, v := range q {
+			out.Data[i] = float64(v) * scale
+		}
+		return out
+	}
+	for i, v := range acc {
+		out.Data[i] = float64(v) * accScale
+	}
+	return out
+}
+
+// compileModel caches compilation per model (weights are referenced, not
+// copied, so recompilation is only needed if the architecture changes).
+func compileModel(m *core.Model) ([]planOp, error) {
+	return compile(m.Net)
+}

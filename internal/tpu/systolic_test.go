@@ -1,0 +1,173 @@
+package tpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpnn/internal/keys"
+	"hpnn/internal/rng"
+)
+
+func randInt8s(r *rng.Rand, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(r.Intn(255) - 127)
+	}
+	return out
+}
+
+// TestSystolicMatchesFunctional: the register-level array must produce
+// exactly the functional matmul for arbitrary tile shapes.
+func TestSystolicMatchesFunctional(t *testing.T) {
+	f := func(seed uint64, kR, mR, pR uint8) bool {
+		k := int(kR%6) + 1
+		m := int(mR%6) + 1
+		p := int(pR%6) + 1
+		r := rng.New(seed)
+		// w is stored [k][m] for the array, [m][k] for the reference.
+		wKM := randInt8s(r, k*m)
+		x := randInt8s(r, k*p)
+
+		arr, err := NewSystolicArray(8, 8)
+		if err != nil {
+			return false
+		}
+		if err := arr.LoadWeights(wKM, k, m); err != nil {
+			return false
+		}
+		got, _, err := arr.MatMulTile(x, k, p, m, nil)
+		if err != nil {
+			return false
+		}
+		for mm := 0; mm < m; mm++ {
+			for pp := 0; pp < p; pp++ {
+				want := int32(0)
+				for kk := 0; kk < k; kk++ {
+					want += int32(wKM[kk*m+mm]) * int32(x[kk*p+pp])
+				}
+				if got[mm*p+pp] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSystolicKeyNegation: key bits at the column accumulators negate the
+// selected outputs, matching the functional locked matmul.
+func TestSystolicKeyNegation(t *testing.T) {
+	r := rng.New(5)
+	const k, m, p = 4, 3, 5
+	w := randInt8s(r, k*m)
+	x := randInt8s(r, k*p)
+	kbits := make([]byte, m*p)
+	for i := range kbits {
+		kbits[i] = byte(r.Intn(2))
+	}
+	arr, _ := NewSystolicArray(8, 8)
+	if err := arr.LoadWeights(w, k, m); err != nil {
+		t.Fatal(err)
+	}
+	locked, _, err := arr.MatMulTile(x, k, p, m, kbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr2, _ := NewSystolicArray(8, 8)
+	arr2.LoadWeights(w, k, m)
+	plain, _, _ := arr2.MatMulTile(x, k, p, m, nil)
+	for i := range plain {
+		want := plain[i]
+		if kbits[i] == 1 {
+			want = -want
+		}
+		if locked[i] != want {
+			t.Fatalf("output %d: locked %d, want %d", i, locked[i], want)
+		}
+	}
+}
+
+// TestSystolicLatencyMatchesAnalyticModel: the measured pipeline latency
+// must equal the fill + stream + drain accounting the MMU cycle model uses
+// (P + rows + cols per tile pass).
+func TestSystolicLatencyMatchesAnalyticModel(t *testing.T) {
+	const rows, cols, p = 8, 8, 13
+	arr, _ := NewSystolicArray(rows, cols)
+	w := make([]int8, rows*cols)
+	arr.LoadWeights(w, rows, cols)
+	_, cycles, err := arr.MatMulTile(make([]int8, rows*p), rows, p, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(p + rows + cols)
+	if cycles != want {
+		t.Fatalf("streaming latency %d cycles, analytic model says %d", cycles, want)
+	}
+}
+
+func TestSystolicWeightLoadCost(t *testing.T) {
+	arr, _ := NewSystolicArray(4, 4)
+	before := arr.CyclesRun
+	arr.LoadWeights(make([]int8, 16), 4, 4)
+	if arr.CyclesRun-before != 4 {
+		t.Fatalf("weight load cost %d cycles, want rows=4", arr.CyclesRun-before)
+	}
+}
+
+func TestSystolicValidation(t *testing.T) {
+	if _, err := NewSystolicArray(0, 4); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	arr, _ := NewSystolicArray(4, 4)
+	if err := arr.LoadWeights(make([]int8, 100), 10, 10); err == nil {
+		t.Fatal("oversized tile accepted")
+	}
+	if err := arr.LoadWeights(make([]int8, 3), 2, 2); err == nil {
+		t.Fatal("short weight buffer accepted")
+	}
+	arr.LoadWeights(make([]int8, 4), 2, 2)
+	if _, _, err := arr.MatMulTile(make([]int8, 3), 2, 2, 2, nil); err == nil {
+		t.Fatal("short input buffer accepted")
+	}
+	if _, _, err := arr.MatMulTile(make([]int8, 4), 2, 2, 2, make([]byte, 1)); err == nil {
+		t.Fatal("short key-bit buffer accepted")
+	}
+	if arr.Rows() != 4 || arr.Cols() != 4 {
+		t.Fatal("geometry accessors wrong")
+	}
+}
+
+// TestMMUSystolicModeMatchesFunctional: routing the MMU through the
+// register-level array must give identical results to the functional path,
+// for multi-tile shapes, biases and key locking.
+func TestMMUSystolicModeMatchesFunctional(t *testing.T) {
+	key := keys.Generate(rng.New(50))
+	dev := keys.NewDevice("t", key)
+	r := rng.New(51)
+	const M, K, P = 10, 20, 7 // forces 3 K-tiles and 2 M-tiles on an 8x8 array
+	w := randInt8s(r, M*K)
+	x := randInt8s(r, K*P)
+	bias := make([]int32, M)
+	cols := make([]int, M*P)
+	for i := range bias {
+		bias[i] = int32(r.Intn(100) - 50)
+	}
+	for i := range cols {
+		cols[i] = r.Intn(keys.KeyBits)
+	}
+	fast, _ := NewMMU(Config{Rows: 8, Cols: 8}, dev)
+	sys, _ := NewMMU(Config{Rows: 8, Cols: 8, Systolic: true}, dev)
+	a := fast.MatMulLocked(w, M, K, x, P, bias, cols)
+	b := sys.MatMulLocked(w, M, K, x, P, bias, cols)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("systolic MMU differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if sys.Stats().Cycles == 0 || sys.Stats().TilePasses != 6 {
+		t.Fatalf("systolic accounting wrong: %+v", sys.Stats())
+	}
+}

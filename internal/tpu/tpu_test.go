@@ -1,0 +1,393 @@
+package tpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpnn/internal/keys"
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+func TestFullAdderTruthTable(t *testing.T) {
+	for a := uint32(0); a < 2; a++ {
+		for b := uint32(0); b < 2; b++ {
+			for c := uint32(0); c < 2; c++ {
+				sum, cout := fullAdder(a, b, c)
+				total := a + b + c
+				if sum != total&1 || cout != total>>1 {
+					t.Fatalf("fullAdder(%d,%d,%d) = (%d,%d)", a, b, c, sum, cout)
+				}
+			}
+		}
+	}
+}
+
+// TestGateLevelEqualsArithmetic is the central hardware-correctness
+// property: the gate-level key-dependent accumulator is bit-for-bit equal
+// to the arithmetic model acc ± product for both key values.
+func TestGateLevelEqualsArithmetic(t *testing.T) {
+	f := func(acc int32, product int16, key bool) bool {
+		kb := byte(0)
+		if key {
+			kb = 1
+		}
+		g := Accumulator{KeyBit: kb, GateLevel: true}
+		g.Preload(acc)
+		g.AddProduct(product)
+		fast := Accumulator{KeyBit: kb}
+		fast.Preload(acc)
+		fast.AddProduct(product)
+		return g.Value() == fast.Value()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateLevelEdgeCases(t *testing.T) {
+	cases := []struct {
+		acc     int32
+		product int16
+		key     byte
+		want    int32
+	}{
+		{0, 100, 0, 100},
+		{0, 100, 1, -100},
+		{50, -30, 0, 20},
+		{50, -30, 1, 80},
+		{0, -32768, 1, 32768}, // most-negative product negates cleanly in 32 bits
+		{0, -32768, 0, -32768},
+		{math.MaxInt32, 1, 0, math.MinInt32}, // wraparound matches two's complement
+		{5, 0, 1, 5},                         // subtracting zero
+	}
+	for _, tc := range cases {
+		u := Accumulator{KeyBit: tc.key, GateLevel: true}
+		u.Preload(tc.acc)
+		u.AddProduct(tc.product)
+		if u.Value() != tc.want {
+			t.Fatalf("acc=%d p=%d k=%d: got %d, want %d", tc.acc, tc.product, tc.key, u.Value(), tc.want)
+		}
+	}
+}
+
+func TestGateLevelSequenceEqualsSum(t *testing.T) {
+	f := func(seed uint64, key bool) bool {
+		r := rng.New(seed)
+		kb := byte(0)
+		if key {
+			kb = 1
+		}
+		u := Accumulator{KeyBit: kb, GateLevel: true}
+		want := int64(0)
+		for i := 0; i < 50; i++ {
+			p := int16(r.Intn(65536) - 32768)
+			u.AddProduct(p)
+			if kb == 1 {
+				want -= int64(p)
+			} else {
+				want += int64(p)
+			}
+		}
+		return u.Value() == int32(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateOpsAccounting(t *testing.T) {
+	u := Accumulator{KeyBit: 1, GateLevel: true}
+	u.AddProduct(7)
+	want := uint64(XORGatesPerAccumulator + AccBits*gatesPerFullAdder)
+	if u.GateOps != want {
+		t.Fatalf("GateOps = %d, want %d", u.GateOps, want)
+	}
+	fast := Accumulator{KeyBit: 1}
+	fast.AddProduct(7)
+	if fast.GateOps != 0 {
+		t.Fatal("fast mode must not count gates")
+	}
+}
+
+func TestQuantizeRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := tensor.New(40)
+		x.FillNorm(rng.New(seed), 0, 2)
+		q := Quantize(x)
+		back := q.Dequantize()
+		for i := range x.Data {
+			if math.Abs(back.Data[i]-x.Data[i]) > q.Scale/2+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeZeroTensor(t *testing.T) {
+	q := Quantize(tensor.New(5))
+	if q.Scale != 1 {
+		t.Fatalf("zero tensor scale %v", q.Scale)
+	}
+	for _, v := range q.Data {
+		if v != 0 {
+			t.Fatal("zero tensor must quantize to zeros")
+		}
+	}
+}
+
+func TestQuantizeUsesFullRange(t *testing.T) {
+	x := tensor.FromSlice([]float64{-1, 0.5, 1}, 3)
+	q := Quantize(x)
+	if q.Data[0] != -127 || q.Data[2] != 127 {
+		t.Fatalf("extremes should hit ±127, got %v", q.Data)
+	}
+}
+
+func TestQuantizeBias(t *testing.T) {
+	b := tensor.FromSlice([]float64{1.0, -0.5}, 2)
+	q := QuantizeBias(b, 0.01)
+	if q[0] != 100 || q[1] != -50 {
+		t.Fatalf("bias quantization wrong: %v", q)
+	}
+}
+
+func TestReLUQuantize(t *testing.T) {
+	acc := []int32{-100, 0, 50, 100}
+	q, scale := ReLUQuantize(acc, 0.02)
+	if q[0] != 0 || q[1] != 0 {
+		t.Fatal("negative accumulators must clamp to zero")
+	}
+	if q[3] != 127 {
+		t.Fatalf("max accumulator should requantize to 127, got %d", q[3])
+	}
+	// Value preservation within one LSB.
+	if math.Abs(float64(q[2])*scale-50*0.02) > scale {
+		t.Fatalf("mid value badly requantized")
+	}
+	// All-negative input.
+	q2, _ := ReLUQuantize([]int32{-5, -1}, 0.1)
+	if q2[0] != 0 || q2[1] != 0 {
+		t.Fatal("all-negative ReLU should be zeros")
+	}
+}
+
+func newTestMMU(t *testing.T, gateLevel bool, dev *keys.Device) *MMU {
+	t.Helper()
+	m, err := NewMMU(Config{Rows: 8, Cols: 8, GateLevel: gateLevel}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMatMulLockedUnlockedMatchesInteger(t *testing.T) {
+	r := rng.New(30)
+	m := newTestMMU(t, false, nil)
+	const M, K, P = 3, 5, 4
+	w := make([]int8, M*K)
+	x := make([]int8, K*P)
+	for i := range w {
+		w[i] = int8(r.Intn(255) - 127)
+	}
+	for i := range x {
+		x[i] = int8(r.Intn(255) - 127)
+	}
+	bias := []int32{10, -20, 30}
+	out := m.MatMulLocked(w, M, K, x, P, bias, nil)
+	for o := 0; o < M; o++ {
+		for p := 0; p < P; p++ {
+			want := bias[o]
+			for k := 0; k < K; k++ {
+				want += int32(w[o*K+k]) * int32(x[k*P+p])
+			}
+			if out[o*P+p] != want {
+				t.Fatalf("out[%d,%d] = %d, want %d", o, p, out[o*P+p], want)
+			}
+		}
+	}
+}
+
+func TestMatMulLockedNegatesWithKey(t *testing.T) {
+	// Device with all-ones key: every locked output is negated, including
+	// the preloaded bias.
+	allOnes, _ := keys.FromBytes(bytesOf(0xFF, keys.KeyBytes))
+	dev := keys.NewDevice("t", allOnes)
+	m := newTestMMU(t, false, dev)
+	w := []int8{1, 2, 3}
+	x := []int8{4, 5, 6}
+	bias := []int32{7}
+	cols := []int{0}
+	out := m.MatMulLocked(w, 1, 3, x, 1, bias, cols)
+	want := -(int32(4) + 10 + 18 + 7)
+	if out[0] != want {
+		t.Fatalf("locked output %d, want %d", out[0], want)
+	}
+}
+
+func TestMatMulGateLevelMatchesFast(t *testing.T) {
+	key := keys.Generate(rng.New(31))
+	dev := keys.NewDevice("t", key)
+	r := rng.New(32)
+	const M, K, P = 4, 6, 3
+	w := make([]int8, M*K)
+	x := make([]int8, K*P)
+	for i := range w {
+		w[i] = int8(r.Intn(255) - 127)
+	}
+	for i := range x {
+		x[i] = int8(r.Intn(255) - 127)
+	}
+	cols := make([]int, M*P)
+	for i := range cols {
+		cols[i] = r.Intn(keys.KeyBits)
+	}
+	fast := newTestMMU(t, false, dev)
+	gate := newTestMMU(t, true, dev)
+	a := fast.MatMulLocked(w, M, K, x, P, nil, cols)
+	b := gate.MatMulLocked(w, M, K, x, P, nil, cols)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gate-level and fast MMU disagree at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if gate.Stats().GateOps == 0 {
+		t.Fatal("gate-level MMU did not count gate operations")
+	}
+}
+
+// TestNoCycleOverhead verifies the paper's "no clock cycle overhead" claim:
+// the cycle count is identical with and without the HPNN key device.
+func TestNoCycleOverhead(t *testing.T) {
+	run := func(dev *keys.Device) Stats {
+		m := newTestMMU(t, false, dev)
+		w := make([]int8, 16*16)
+		x := make([]int8, 16*8)
+		cols := make([]int, 16*8)
+		m.MatMulLocked(w, 16, 16, x, 8, nil, cols)
+		return m.Stats()
+	}
+	allOnes, _ := keys.FromBytes(bytesOf(0xFF, keys.KeyBytes))
+	plain := run(nil)
+	locked := run(keys.NewDevice("t", allOnes))
+	if plain.Cycles != locked.Cycles {
+		t.Fatalf("cycle overhead detected: %d vs %d", plain.Cycles, locked.Cycles)
+	}
+	if plain.MACs != locked.MACs {
+		t.Fatal("MAC count changed with key device")
+	}
+	if locked.LockedOutputs == 0 {
+		t.Fatal("locked run reported no locked outputs")
+	}
+}
+
+func TestCycleModelTiling(t *testing.T) {
+	m := newTestMMU(t, false, nil) // 8x8 array
+	// K=20 → 3 row tiles; M=10 → 2 col tiles; P=5.
+	w := make([]int8, 10*20)
+	x := make([]int8, 20*5)
+	m.MatMulLocked(w, 10, 20, x, 5, nil, nil)
+	s := m.Stats()
+	if s.TilePasses != 6 {
+		t.Fatalf("tile passes %d, want 6", s.TilePasses)
+	}
+	wantCycles := uint64(6 * (8 + 8 + 5))
+	if s.Cycles != wantCycles {
+		t.Fatalf("cycles %d, want %d", s.Cycles, wantCycles)
+	}
+	if s.MACs != 10*20*5 {
+		t.Fatalf("MACs %d, want %d", s.MACs, 10*20*5)
+	}
+}
+
+func TestGateReport256(t *testing.T) {
+	rep := Gates(DefaultConfig())
+	if rep.XORGates != 4096 {
+		t.Fatalf("XOR gates %d, want 4096 (256 accumulators × 16)", rep.XORGates)
+	}
+	if rep.OverheadPaperPct >= 0.5 {
+		t.Fatalf("paper-normalized overhead %.3f%% should be < 0.5%%", rep.OverheadPaperPct)
+	}
+	if rep.OverheadStructuralPct >= rep.OverheadPaperPct {
+		t.Fatal("structural overhead should be even smaller than the paper normalization")
+	}
+	if rep.ExtraCycles != 0 {
+		t.Fatal("HPNN modification must add zero cycles")
+	}
+	if rep.ExtraKeyBitsStorage != 256 {
+		t.Fatalf("key storage %d bits, want 256", rep.ExtraKeyBitsStorage)
+	}
+	if rep.BaselineGates == 0 || rep.MultiplierGates == 0 {
+		t.Fatal("baseline gate model empty")
+	}
+}
+
+func TestNewMMUValidation(t *testing.T) {
+	if _, err := NewMMU(Config{Rows: 0, Cols: 8}, nil); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	if _, err := NewAccelerator(DefaultConfig(), nil, nil); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+}
+
+func bytesOf(v byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+func TestEnergyModel(t *testing.T) {
+	r := Energy(Stats{MACs: 1000})
+	if r.TotalpJ <= 0 || r.MACpJ <= 0 || r.XORpJ <= 0 {
+		t.Fatalf("energy report degenerate: %+v", r)
+	}
+	if r.OverheadPct >= 1.0 {
+		t.Fatalf("XOR energy overhead %.3f%% should be well under 1%%", r.OverheadPct)
+	}
+	if Energy(Stats{}).TotalpJ != 0 {
+		t.Fatal("zero activity should cost zero energy")
+	}
+	// Energy scales linearly with MACs.
+	r2 := Energy(Stats{MACs: 2000})
+	if absDiffF(r2.TotalpJ, 2*r.TotalpJ) > 1e-9 {
+		t.Fatal("energy not linear in MAC count")
+	}
+}
+
+func absDiffF(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Cycles: 1, MACs: 2, TilePasses: 3, GateOps: 4, LockedOutputs: 5}
+	b := Stats{Cycles: 10, MACs: 20, TilePasses: 30, GateOps: 40, LockedOutputs: 50}
+	a.Add(b)
+	if a.Cycles != 11 || a.MACs != 22 || a.TilePasses != 33 || a.GateOps != 44 || a.LockedOutputs != 55 {
+		t.Fatalf("Stats.Add wrong: %+v", a)
+	}
+}
+
+func TestMMUConfigAccessor(t *testing.T) {
+	m := newTestMMU(t, false, nil)
+	if m.Config().Rows != 8 || m.Config().Cols != 8 {
+		t.Fatal("Config accessor wrong")
+	}
+}
+
+func TestQTensorString(t *testing.T) {
+	q := Quantize(tensor.FromSlice([]float64{1}, 1))
+	if q.String() == "" || q.Len() != 1 {
+		t.Fatal("QTensor diagnostics broken")
+	}
+}
