@@ -19,6 +19,7 @@ import (
 // BenchmarkTable1 regenerates Table I: original vs locked vs fine-tuned
 // accuracy on all three dataset/architecture pairs.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table1(p, nil)
@@ -41,6 +42,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig3 regenerates the model-capacity box plots: accuracy across
 // random keys vs the unlocked baseline.
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig3(p, nil)
@@ -61,6 +63,7 @@ func BenchmarkFig3(b *testing.B) {
 // BenchmarkFig4_TPUOverhead regenerates the hardware analysis: gate
 // overhead, zero cycle overhead and end-to-end device accuracies.
 func BenchmarkFig4_TPUOverhead(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig4Hardware(p, nil)
@@ -77,6 +80,7 @@ func BenchmarkFig4_TPUOverhead(b *testing.B) {
 
 // BenchmarkFig5 regenerates the thief-dataset-size sweep.
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		sets, err := experiments.Fig5(p, nil)
@@ -98,6 +102,7 @@ func BenchmarkFig5(b *testing.B) {
 
 // BenchmarkFig6 regenerates the learning-rate sweep.
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		sets, err := experiments.Fig6(p, nil)
@@ -120,6 +125,7 @@ func BenchmarkFig6(b *testing.B) {
 
 // BenchmarkFig7 regenerates the random- vs HPNN-initialized comparison.
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig7(p, nil)
@@ -145,6 +151,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkCryptoBaseline regenerates the §II encryption-overhead
 // comparison.
 func BenchmarkCryptoBaseline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.CryptoBaseline(nil)
 		if err != nil {
@@ -158,6 +165,7 @@ func BenchmarkCryptoBaseline(b *testing.B) {
 
 // BenchmarkAblationLockGranularity measures collapse vs lock granularity.
 func BenchmarkAblationLockGranularity(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.AblationLockGranularity(p, nil)
@@ -172,6 +180,7 @@ func BenchmarkAblationLockGranularity(b *testing.B) {
 
 // BenchmarkAblationLockedLayers measures collapse vs locked-layer subset.
 func BenchmarkAblationLockedLayers(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.AblationLockedLayers(p, nil)
@@ -186,6 +195,7 @@ func BenchmarkAblationLockedLayers(b *testing.B) {
 
 // BenchmarkAblationKeyDistance measures accuracy vs key Hamming distance.
 func BenchmarkAblationKeyDistance(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		rows, ownerAcc, err := experiments.AblationKeyDistance(p, nil)
@@ -199,6 +209,7 @@ func BenchmarkAblationKeyDistance(b *testing.B) {
 
 // BenchmarkAblationQuant measures device fidelity across datapath widths.
 func BenchmarkAblationQuant(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.AblationQuant(p, nil)
@@ -213,6 +224,7 @@ func BenchmarkAblationQuant(b *testing.B) {
 
 // BenchmarkKeyRecovery measures the greedy key-recovery attacker's gain.
 func BenchmarkKeyRecovery(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.KeyRecovery(p, nil)
@@ -226,6 +238,7 @@ func BenchmarkKeyRecovery(b *testing.B) {
 
 // BenchmarkTransformAttacks measures the transformation-attack sweep.
 func BenchmarkTransformAttacks(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		rows, owner, err := experiments.TransformAttacks(p, nil)
@@ -245,6 +258,7 @@ func BenchmarkTransformAttacks(b *testing.B) {
 
 // BenchmarkWatermarkVsHPNN measures the watermarking-baseline comparison.
 func BenchmarkWatermarkVsHPNN(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.Bench()
 	for i := 0; i < b.N; i++ {
 		c, err := experiments.WatermarkVsHPNN(p, nil)

@@ -108,6 +108,9 @@ func FineTune(victim *core.Model, ds *dataset.Dataset, cfg FineTuneConfig) (Resu
 		return res, attacker, nil
 	}
 
+	// core.Train reuses the attacker network's layer scratch across steps,
+	// so the fine-tuning loop — like owner training — is allocation-free in
+	// steady state; sweeps over α or learning rate pay only per-run setup.
 	tr := core.Train(attacker, thiefX, thiefY, ds.TestX, ds.TestY, cfg.Train)
 	res.TestAcc = tr.TestAcc
 	res.FinalAcc = tr.FinalTestAcc()

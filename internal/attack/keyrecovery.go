@@ -74,6 +74,10 @@ func RecoverLocks(victim *core.Model, ds *dataset.Dataset, cfg KeyRecoveryConfig
 		return res, fmt.Errorf("attack: empty thief set")
 	}
 
+	// Each bit trial costs one thief-set evaluation. Accuracy runs through
+	// the attacker model's cached eval scratch (batch views, layer buffers,
+	// prediction buffer), so the thousands of queries of a budgeted attack
+	// allocate nothing after the first.
 	evalThief := func() float64 {
 		res.Queries++
 		return attacker.Accuracy(thiefX, thiefY, 64)

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"hpnn/internal/nn"
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// BenchmarkTrainStepCNN1 measures one steady-state training step (forward,
+// loss, backward, clip, optimizer) of the Table I Fashion-MNIST network at
+// batch 16. Allocations per op are the headline metric: after the workspace
+// refactor a warmed-up step performs zero tensor allocations.
+func BenchmarkTrainStepCNN1(b *testing.B) {
+	m := MustModel(Config{Arch: CNN1, InC: 1, InH: 28, InW: 28, Classes: 10, Seed: 7})
+	const batch = 16
+	x := tensor.New(batch, 1, 28, 28)
+	x.FillUniform(rng.New(1), 0, 1)
+	y := make([]int, batch)
+	for i := range y {
+		y[i] = i % 10
+	}
+	opt := nn.NewMomentumSGD(0.01, 0.9, 0)
+	loss := nn.SoftmaxCrossEntropy{}
+	params := m.Net.Params()
+	var gradBuf *tensor.Tensor
+	step := func() {
+		out := m.Net.Forward(x, true)
+		_, g := loss.LossInto(gradBuf, out, y)
+		gradBuf = g
+		m.Net.Backward(g)
+		nn.ClipGradNorm(params, 5)
+		opt.Step(params)
+	}
+	step() // warm up caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

@@ -16,6 +16,13 @@ type Model struct {
 	Net    *nn.Network
 
 	locks []*nn.Lock
+
+	// Cached batch-view header and shape for evaluation: Predict slices the
+	// dataset into batch views without allocating tensor headers, so the
+	// repeated Accuracy probes of the attack loops stay cheap.
+	evalView  tensor.Tensor
+	evalShape []int
+	predsBuf  []int
 }
 
 // NewModel builds a model from cfg with freshly initialized weights.
@@ -99,36 +106,46 @@ func (m *Model) KeyBits() []byte {
 }
 
 // Predict returns the argmax class for each sample in x, evaluating in
-// batches of batchSize to bound memory.
+// batches of batchSize to bound memory. The returned slice is freshly
+// allocated; Accuracy uses a model-owned buffer instead.
 func (m *Model) Predict(x *tensor.Tensor, batchSize int) []int {
+	preds := make([]int, x.Shape[0])
+	m.predictInto(preds, x, batchSize)
+	return preds
+}
+
+func (m *Model) predictInto(preds []int, x *tensor.Tensor, batchSize int) {
 	n := x.Shape[0]
 	if batchSize <= 0 {
 		batchSize = 64
 	}
 	feat := x.Len() / max(n, 1)
-	preds := make([]int, n)
 	for lo := 0; lo < n; lo += batchSize {
 		hi := lo + batchSize
 		if hi > n {
 			hi = n
 		}
-		shape := append([]int{hi - lo}, x.Shape[1:]...)
-		bx := tensor.FromSlice(x.Data[lo*feat:hi*feat], shape...)
+		m.evalShape = append(m.evalShape[:0], hi-lo)
+		m.evalShape = append(m.evalShape, x.Shape[1:]...)
+		bx := tensor.ViewInto(&m.evalView, x.Data[lo*feat:hi*feat], m.evalShape...)
 		out := m.Net.Forward(bx, false)
 		k := out.Shape[1]
 		for i := 0; i < hi-lo; i++ {
 			preds[lo+i] = tensor.Argmax(out.Data[i*k : (i+1)*k])
 		}
 	}
-	return preds
 }
 
-// Accuracy evaluates classification accuracy on (x, y).
+// Accuracy evaluates classification accuracy on (x, y). Predictions land in
+// a model-owned buffer, so the repeated probes of the key-recovery attack
+// (one per bit trial) cost no allocations.
 func (m *Model) Accuracy(x *tensor.Tensor, y []int, batchSize int) float64 {
 	if len(y) == 0 {
 		return 0
 	}
-	preds := m.Predict(x, batchSize)
+	m.predsBuf = tensor.EnsureInts(m.predsBuf, x.Shape[0])
+	preds := m.predsBuf
+	m.predictInto(preds, x, batchSize)
 	correct := 0
 	for i, p := range preds {
 		if p == y[i] {

@@ -350,7 +350,9 @@ func TestDisengageEngageRoundTrip(t *testing.T) {
 	x.FillNorm(rng.New(21), 0, 1)
 	before := m.Net.Forward(x, false).Clone()
 	m.DisengageLocks()
-	during := m.Net.Forward(x, false)
+	// Forward returns layer-owned scratch: Clone before the next pass
+	// overwrites it.
+	during := m.Net.Forward(x, false).Clone()
 	m.EngageLocks()
 	after := m.Net.Forward(x, false)
 	if tensor.Equal(before, during, 1e-12) {

@@ -93,6 +93,11 @@ func Train(m *Model, trainX *tensor.Tensor, trainY []int, testX *tensor.Tensor, 
 	}
 	opt := nn.NewMomentumSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
 	loss := nn.SoftmaxCrossEntropy{}
+	// The parameter list and loss-gradient buffer are hoisted out of the
+	// step loop: together with the layers' own scratch reuse this makes the
+	// steady-state step allocation-free.
+	params := m.Net.Params()
+	var gradBuf *tensor.Tensor
 	var res TrainResult
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.SetLR(nn.StepDecay(cfg.LR, epoch, cfg.LRDecayEvery, cfg.LRDecayFactor))
@@ -100,13 +105,14 @@ func Train(m *Model, trainX *tensor.Tensor, trainY []int, testX *tensor.Tensor, 
 		epochLoss := 0.0
 		for _, b := range batches {
 			out := m.Net.Forward(b.X, true)
-			l, g := loss.Loss(out, b.Y)
+			l, g := loss.LossInto(gradBuf, out, b.Y)
+			gradBuf = g
 			epochLoss += l * float64(len(b.Y))
 			m.Net.Backward(g)
 			if cfg.ClipNorm > 0 {
-				nn.ClipGradNorm(m.Net.Params(), cfg.ClipNorm)
+				nn.ClipGradNorm(params, cfg.ClipNorm)
 			}
-			opt.Step(m.Net.Params())
+			opt.Step(params)
 		}
 		epochLoss /= float64(len(trainY))
 		res.EpochLoss = append(res.EpochLoss, epochLoss)

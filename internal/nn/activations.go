@@ -15,6 +15,7 @@ func sqrt(x float64) float64 { return math.Sqrt(x) }
 // pre-activation values feeding each ReLU.
 type ReLU struct {
 	lastIn *tensor.Tensor
+	y, dx  *tensor.Tensor // layer-owned scratch, resized on shape change
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -29,30 +30,35 @@ func (r *ReLU) Params() []*Param { return nil }
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	r.lastIn = x
-	y := tensor.New(x.Shape...)
+	r.y = tensor.EnsureShape(r.y, x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
-			y.Data[i] = v
+			r.y.Data[i] = v
+		} else {
+			r.y.Data[i] = 0
 		}
 	}
-	return y
+	return r.y
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(grad.Shape...)
+	r.dx = tensor.EnsureShape(r.dx, grad.Shape...)
 	for i, v := range r.lastIn.Data {
 		if v > 0 {
-			dx.Data[i] = grad.Data[i]
+			r.dx.Data[i] = grad.Data[i]
+		} else {
+			r.dx.Data[i] = 0
 		}
 	}
-	return dx
+	return r.dx
 }
 
 // LeakyReLU is max(x, alpha·x).
 type LeakyReLU struct {
 	Alpha  float64
 	lastIn *tensor.Tensor
+	y, dx  *tensor.Tensor
 }
 
 // NewLeakyReLU returns a LeakyReLU with the given negative slope.
@@ -67,34 +73,35 @@ func (r *LeakyReLU) Params() []*Param { return nil }
 // Forward implements Layer.
 func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	r.lastIn = x
-	y := tensor.New(x.Shape...)
+	r.y = tensor.EnsureShape(r.y, x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
-			y.Data[i] = v
+			r.y.Data[i] = v
 		} else {
-			y.Data[i] = r.Alpha * v
+			r.y.Data[i] = r.Alpha * v
 		}
 	}
-	return y
+	return r.y
 }
 
 // Backward implements Layer.
 func (r *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(grad.Shape...)
+	r.dx = tensor.EnsureShape(r.dx, grad.Shape...)
 	for i, v := range r.lastIn.Data {
 		if v > 0 {
-			dx.Data[i] = grad.Data[i]
+			r.dx.Data[i] = grad.Data[i]
 		} else {
-			dx.Data[i] = r.Alpha * grad.Data[i]
+			r.dx.Data[i] = r.Alpha * grad.Data[i]
 		}
 	}
-	return dx
+	return r.dx
 }
 
 // Sigmoid is the logistic activation 1/(1+e^-x). It is used by the
 // Theorem 1 single-layer delta-rule experiments.
 type Sigmoid struct {
 	lastOut *tensor.Tensor
+	dx      *tensor.Tensor
 }
 
 // NewSigmoid returns a Sigmoid activation layer.
@@ -108,26 +115,26 @@ func (s *Sigmoid) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := tensor.New(x.Shape...)
+	s.lastOut = tensor.EnsureShape(s.lastOut, x.Shape...)
 	for i, v := range x.Data {
-		y.Data[i] = 1 / (1 + math.Exp(-v))
+		s.lastOut.Data[i] = 1 / (1 + math.Exp(-v))
 	}
-	s.lastOut = y
-	return y
+	return s.lastOut
 }
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(grad.Shape...)
+	s.dx = tensor.EnsureShape(s.dx, grad.Shape...)
 	for i, o := range s.lastOut.Data {
-		dx.Data[i] = grad.Data[i] * o * (1 - o)
+		s.dx.Data[i] = grad.Data[i] * o * (1 - o)
 	}
-	return dx
+	return s.dx
 }
 
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
 	lastOut *tensor.Tensor
+	dx      *tensor.Tensor
 }
 
 // NewTanh returns a Tanh activation layer.
@@ -141,26 +148,28 @@ func (t *Tanh) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := tensor.New(x.Shape...)
+	t.lastOut = tensor.EnsureShape(t.lastOut, x.Shape...)
 	for i, v := range x.Data {
-		y.Data[i] = math.Tanh(v)
+		t.lastOut.Data[i] = math.Tanh(v)
 	}
-	t.lastOut = y
-	return y
+	return t.lastOut
 }
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(grad.Shape...)
+	t.dx = tensor.EnsureShape(t.dx, grad.Shape...)
 	for i, o := range t.lastOut.Data {
-		dx.Data[i] = grad.Data[i] * (1 - o*o)
+		t.dx.Data[i] = grad.Data[i] * (1 - o*o)
 	}
-	return dx
+	return t.dx
 }
 
 // Flatten reshapes [N, C, H, W] (or any rank ≥ 2) batches to [N, D].
 type Flatten struct {
 	lastShape []int
+	// Reshape views are cached headers over the caller's data — rebuilding
+	// them in place keeps Forward/Backward allocation-free.
+	fwdView, bwdView tensor.Tensor
 }
 
 // NewFlatten returns a Flatten layer.
@@ -176,10 +185,10 @@ func (f *Flatten) Params() []*Param { return nil }
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.lastShape = append(f.lastShape[:0], x.Shape...)
 	n := x.Shape[0]
-	return x.Reshape(n, x.Len()/n)
+	return tensor.ViewInto(&f.fwdView, x.Data, n, x.Len()/n)
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.lastShape...)
+	return tensor.ViewInto(&f.bwdView, grad.Data, f.lastShape...)
 }

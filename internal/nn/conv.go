@@ -9,14 +9,31 @@ import (
 
 // Conv2D is a 2-D convolution layer over [N, C, H, W] batches, lowered to
 // GEMM through im2col. Weights have shape [OutC, InC, KH, KW].
+//
+// All forward/backward scratch — the output, the per-sample im2col
+// matrices, the input gradient and the per-sample weight-gradient partials
+// — is layer-owned and reused across steps; the batch fans out on the
+// worker pool through top-level worker functions (the layer pointer is the
+// dispatch context), so a steady-state step allocates nothing.
 type Conv2D struct {
 	Geom tensor.ConvGeom
 	OutC int
 	W    *Param // [OutC, InC*KH*KW] (flattened kernel bank)
 	B    *Param // [OutC]
 
-	lastX    *tensor.Tensor
-	lastCols []*tensor.Tensor // per-sample im2col matrices
+	lastX   *tensor.Tensor
+	out, dx *tensor.Tensor
+	// cols holds the n stacked im2col matrices from the last forward; the
+	// backward pass reuses each sample's region in place for dcol once its
+	// weight-gradient partial has been taken.
+	cols []float64
+	// dW/dB are per-sample gradient partials, reduced serially after the
+	// parallel region so the backward pass stays deterministic.
+	dW, dB []float64
+
+	// Per-call geometry and operand views read by the pool workers.
+	n, pix, rows, featIn, featOut int
+	fx, fout, fgrad, fdx          []float64
 }
 
 // NewConv2D constructs a convolution layer. Parameters start at zero; call
@@ -64,98 +81,98 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n := x.Shape[0]
 	outH, outW := g.OutH(), g.OutW()
-	pix := outH * outW
-	featIn := g.InC * g.InH * g.InW
+	c.n, c.pix, c.rows = n, outH*outW, g.ColRows()
+	c.featIn, c.featOut = g.InLen(), c.OutC*outH*outW
 	c.lastX = x
-	if len(c.lastCols) != n {
-		c.lastCols = make([]*tensor.Tensor, n)
-	}
-	out := tensor.New(n, c.OutC, outH, outW)
-	rows := g.InC * g.KH * g.KW
+	c.out = tensor.EnsureShape(c.out, n, c.OutC, outH, outW)
+	c.cols = tensor.EnsureFloats(c.cols, n*c.rows*c.pix)
+	c.fx, c.fout = x.Data, c.out.Data
+	tensor.ParallelCtx(n, c, convFwdWorker)
+	return c.out
+}
+
+// convFwdWorker lowers sample i to columns and runs the kernel GEMM
+// serially (the batch dimension already saturates the worker pool).
+func convFwdWorker(ctx any, i int) {
+	c := ctx.(*Conv2D)
+	colLen := c.rows * c.pix
+	col := c.cols[i*colLen : (i+1)*colLen]
+	tensor.Im2ColSlice(col, c.fx[i*c.featIn:(i+1)*c.featIn], c.Geom)
+	out := c.fout[i*c.featOut : (i+1)*c.featOut]
+	matMulSlice(out, c.W.Value.Data, col, c.OutC, c.rows, c.pix)
 	bd := c.B.Value.Data
-	tensor.Parallel(n, func(i int) {
-		img := tensor.FromSlice(x.Data[i*featIn:(i+1)*featIn], g.InC, g.InH, g.InW)
-		col := c.lastCols[i]
-		if col == nil || col.Len() != rows*pix {
-			col = tensor.New(rows, pix)
-			c.lastCols[i] = col
+	for oc := 0; oc < c.OutC; oc++ {
+		row := out[oc*c.pix : (oc+1)*c.pix]
+		b := bd[oc]
+		for p := range row {
+			row[p] += b
 		}
-		tensor.Im2ColInto(col, img, g)
-		res := tensor.FromSlice(out.Data[i*c.OutC*pix:(i+1)*c.OutC*pix], c.OutC, pix)
-		matMulSerialInto(res, c.W.Value, col)
-		for oc := 0; oc < c.OutC; oc++ {
-			row := res.Data[oc*pix : (oc+1)*pix]
-			b := bd[oc]
-			for p := range row {
-				row[p] += b
-			}
-		}
-	})
-	return out
+	}
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := c.Geom
 	n := grad.Shape[0]
-	outH, outW := g.OutH(), g.OutW()
-	pix := outH * outW
-	featIn := g.InC * g.InH * g.InW
-	dx := tensor.New(n, g.InC, g.InH, g.InW)
-
-	// Per-sample weight-gradient partials are accumulated into worker-local
-	// buffers and reduced serially, keeping the backward pass deterministic.
-	type partial struct {
-		dW *tensor.Tensor
-		dB []float64
-	}
-	parts := make([]partial, n)
-	tensor.Parallel(n, func(i int) {
-		gOut := tensor.FromSlice(grad.Data[i*c.OutC*pix:(i+1)*c.OutC*pix], c.OutC, pix)
-		col := c.lastCols[i]
-		// dW_i = gOut · colᵀ  -> [OutC, rows]
-		dW := matMulNTSerial(gOut, col)
-		dB := make([]float64, c.OutC)
-		for oc := 0; oc < c.OutC; oc++ {
-			row := gOut.Data[oc*pix : (oc+1)*pix]
-			s := 0.0
-			for _, v := range row {
-				s += v
-			}
-			dB[oc] = s
-		}
-		parts[i] = partial{dW: dW, dB: dB}
-		// dcol = Wᵀ · gOut -> [rows, pix]; scatter back to image space.
-		dcol := matMulTNSerial(c.W.Value, gOut)
-		img := tensor.Col2Im(dcol, g)
-		copy(dx.Data[i*featIn:(i+1)*featIn], img.Data)
-	})
+	c.dx = tensor.EnsureShape(c.dx, n, g.InC, g.InH, g.InW)
+	c.dW = tensor.EnsureFloats(c.dW, n*c.OutC*c.rows)
+	c.dB = tensor.EnsureFloats(c.dB, n*c.OutC)
+	c.fgrad, c.fdx = grad.Data, c.dx.Data
+	tensor.ParallelCtx(n, c, convBwdWorker)
+	// Per-sample partials reduce serially in sample order, keeping the
+	// backward pass bitwise deterministic.
+	wg, bg := c.W.Grad.Data, c.B.Grad.Data
+	wLen := len(wg)
 	for i := 0; i < n; i++ {
-		c.W.Grad.AddScaled(1, parts[i].dW)
-		bg := c.B.Grad.Data
-		for j, v := range parts[i].dB {
+		part := c.dW[i*wLen : (i+1)*wLen]
+		for j, v := range part {
+			wg[j] += v
+		}
+		partB := c.dB[i*c.OutC : (i+1)*c.OutC]
+		for j, v := range partB {
 			bg[j] += v
 		}
 	}
-	return dx
+	return c.dx
 }
 
-// matMulSerialInto computes dst = a·b without spawning goroutines; the
-// convolution layer already parallelizes across the batch.
-func matMulSerialInto(dst, a, b *tensor.Tensor) {
-	m, k := a.Shape[0], a.Shape[1]
-	nCols := b.Shape[1]
+// convBwdWorker computes sample i's weight/bias partials, then reuses the
+// sample's im2col region for dcol and scatters it back to image space.
+func convBwdWorker(ctx any, i int) {
+	c := ctx.(*Conv2D)
+	colLen := c.rows * c.pix
+	col := c.cols[i*colLen : (i+1)*colLen]
+	gOut := c.fgrad[i*c.featOut : (i+1)*c.featOut]
+	// dW_i = gOut · colᵀ  -> [OutC, rows]
+	matMulNTSlice(c.dW[i*c.OutC*c.rows:(i+1)*c.OutC*c.rows], gOut, col, c.OutC, c.pix, c.rows)
+	dB := c.dB[i*c.OutC : (i+1)*c.OutC]
+	for oc := 0; oc < c.OutC; oc++ {
+		row := gOut[oc*c.pix : (oc+1)*c.pix]
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		dB[oc] = s
+	}
+	// dcol = Wᵀ · gOut -> [rows, pix], overwriting col; scatter to image.
+	matMulTNSlice(col, c.W.Value.Data, gOut, c.OutC, c.rows, c.pix)
+	tensor.Col2ImSlice(c.fdx[i*c.featIn:(i+1)*c.featIn], col, c.Geom)
+}
+
+// matMulSlice computes dst[m×n] = a[m×k]·b[k×n] serially on raw slices;
+// the convolution layer already parallelizes across the batch.
+func matMulSlice(dst, a, b []float64, m, k, n int) {
 	for i := 0; i < m; i++ {
-		crow := dst.Data[i*nCols : (i+1)*nCols]
+		crow := dst[i*n : (i+1)*n]
 		for x := range crow {
 			crow[x] = 0
 		}
-		arow := a.Data[i*k : (i+1)*k]
+		arow := a[i*k : (i+1)*k]
 		for p, av := range arow {
 			if av == 0 {
 				continue
 			}
-			brow := b.Data[p*nCols : (p+1)*nCols]
+			brow := b[p*n : (p+1)*n]
 			for j, bv := range brow {
 				crow[j] += av * bv
 			}
@@ -163,15 +180,13 @@ func matMulSerialInto(dst, a, b *tensor.Tensor) {
 	}
 }
 
-func matMulNTSerial(a, b *tensor.Tensor) *tensor.Tensor {
-	m, k := a.Shape[0], a.Shape[1]
-	n := b.Shape[0]
-	out := tensor.New(m, n)
+// matMulNTSlice computes dst[m×n] = a[m×k]·b[n×k]ᵀ serially.
+func matMulNTSlice(dst, a, b []float64, m, k, n int) {
 	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := out.Data[i*n : (i+1)*n]
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
+			brow := b[j*k : (j+1)*k]
 			s := 0.0
 			for p, av := range arow {
 				s += av * brow[p]
@@ -179,25 +194,24 @@ func matMulNTSerial(a, b *tensor.Tensor) *tensor.Tensor {
 			crow[j] = s
 		}
 	}
-	return out
 }
 
-func matMulTNSerial(a, b *tensor.Tensor) *tensor.Tensor {
-	k, m := a.Shape[0], a.Shape[1]
-	n := b.Shape[1]
-	out := tensor.New(m, n)
+// matMulTNSlice computes dst[m×n] = a[k×m]ᵀ·b[k×n] serially.
+func matMulTNSlice(dst, a, b []float64, k, m, n int) {
+	for i := range dst[:m*n] {
+		dst[i] = 0
+	}
 	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			crow := out.Data[i*n : (i+1)*n]
+			crow := dst[i*n : (i+1)*n]
 			for j, bv := range brow {
 				crow[j] += av * bv
 			}
 		}
 	}
-	return out
 }

@@ -14,6 +14,9 @@ type Dense struct {
 	B       *Param // [Out]
 
 	lastX *tensor.Tensor
+	// Layer-owned scratch: output, input gradient and the weight-gradient
+	// staging buffer, reused across steps while the batch shape is stable.
+	y, dx, dW *tensor.Tensor
 }
 
 // NewDense constructs a dense layer with zero-initialized parameters.
@@ -54,32 +57,23 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense expects [N,%d], got %v", d.In, x.Shape))
 	}
 	d.lastX = x
-	y := tensor.MatMulNT(x, d.W.Value) // [N, Out]
 	n := x.Shape[0]
-	bd := d.B.Value.Data
-	for i := 0; i < n; i++ {
-		row := y.Data[i*d.Out : (i+1)*d.Out]
-		for j := range row {
-			row[j] += bd[j]
-		}
-	}
-	return y
+	d.y = tensor.EnsureShape(d.y, n, d.Out)
+	tensor.MatMulNTInto(d.y, x, d.W.Value) // [N, Out]
+	tensor.AddRowBroadcast(d.y, d.B.Value.Data)
+	return d.y
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Shape[0]
 	// dW = gradᵀ·x  ([Out,N]·[N,In])
-	dW := tensor.MatMulTN(grad, d.lastX)
-	d.W.Grad.AddScaled(1, dW)
+	d.dW = tensor.EnsureShape(d.dW, d.Out, d.In)
+	tensor.MatMulTNInto(d.dW, grad, d.lastX)
+	d.W.Grad.AddScaled(1, d.dW)
 	// dB = column sums of grad
-	bg := d.B.Grad.Data
-	for i := 0; i < n; i++ {
-		row := grad.Data[i*d.Out : (i+1)*d.Out]
-		for j, v := range row {
-			bg[j] += v
-		}
-	}
+	tensor.AddColSums(d.B.Grad.Data, grad)
 	// dX = grad·W  ([N,Out]·[Out,In])
-	return tensor.MatMul(grad, d.W.Value)
+	d.dx = tensor.EnsureShape(d.dx, n, d.In)
+	return tensor.MatMulInto(d.dx, grad, d.W.Value)
 }

@@ -15,6 +15,7 @@ type Dropout struct {
 	Rng *rng.Rand
 
 	lastMask []float64
+	y, dx    *tensor.Tensor // layer-owned scratch, resized on shape change
 }
 
 // NewDropout constructs a dropout layer with drop probability p, drawing
@@ -38,20 +39,19 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.lastMask = nil
 		return x
 	}
-	if len(d.lastMask) != x.Len() {
-		d.lastMask = make([]float64, x.Len())
-	}
+	d.lastMask = tensor.EnsureFloats(d.lastMask, x.Len())
 	scale := 1 / (1 - d.P)
-	y := tensor.New(x.Shape...)
+	d.y = tensor.EnsureShape(d.y, x.Shape...)
 	for i, v := range x.Data {
 		if d.Rng.Float64() < d.P {
 			d.lastMask[i] = 0
+			d.y.Data[i] = 0
 		} else {
 			d.lastMask[i] = scale
-			y.Data[i] = v * scale
+			d.y.Data[i] = v * scale
 		}
 	}
-	return y
+	return d.y
 }
 
 // Backward implements Layer.
@@ -59,9 +59,9 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.lastMask == nil {
 		return grad
 	}
-	dx := tensor.New(grad.Shape...)
+	d.dx = tensor.EnsureShape(d.dx, grad.Shape...)
 	for i, m := range d.lastMask {
-		dx.Data[i] = grad.Data[i] * m
+		d.dx.Data[i] = grad.Data[i] * m
 	}
-	return dx
+	return d.dx
 }

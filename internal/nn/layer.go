@@ -34,14 +34,30 @@ func NewParam(name string, shape ...int) *Param {
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
 // Layer is a differentiable network stage.
+//
+// Buffer-reuse contract: every layer owns its forward/backward scratch —
+// output, input-gradient and any lowering buffers — sized lazily on the
+// first batch and reused verbatim while the input shape is stable. A shape
+// change (e.g. the short final batch of an epoch) resizes the scratch in
+// place, retaining capacity, so cycling between batch sizes settles into a
+// steady state with zero allocations per step.
+//
+// Consequently the tensors returned by Forward and Backward are views into
+// layer-owned storage: they are valid until the layer's next Forward or
+// Backward call, and callers that need the values beyond that must Clone.
+// The training loop, attack loops and accelerator never do — each pass
+// fully consumes the previous pass's views — which is what makes the whole
+// compute path allocation-free after warmup.
 type Layer interface {
 	// Name identifies the layer in diagnostics and serialization.
 	Name() string
 	// Forward computes the layer output for a batch. train selects
-	// training-mode behaviour (dropout masks, batch statistics).
+	// training-mode behaviour (dropout masks, batch statistics). The
+	// result is layer-owned scratch, overwritten by the next call.
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	// Backward consumes dLoss/dOutput of the most recent Forward and
-	// returns dLoss/dInput, accumulating parameter gradients.
+	// returns dLoss/dInput, accumulating parameter gradients. The result
+	// is layer-owned scratch, overwritten by the next call.
 	Backward(grad *tensor.Tensor) *tensor.Tensor
 	// Params returns the layer's trainable parameters (nil if none), in a
 	// deterministic order used by optimizers and serialization.
@@ -51,6 +67,13 @@ type Layer interface {
 // Network is an ordered sequence of layers trained end-to-end.
 type Network struct {
 	Layers []Layer
+
+	// paramsCache memoizes Params(); it is invalidated when the layer count
+	// changes, so builders that append layers after a Params call stay
+	// correct. Gathered once, it keeps per-step optimizer walks free of
+	// slice growth.
+	paramsCache  []*Param
+	paramsLayers int
 }
 
 // NewNetwork builds a network from the given layers.
@@ -74,12 +97,17 @@ func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// Params returns all trainable parameters in layer order.
+// Params returns all trainable parameters in layer order. The slice is
+// memoized — callers must not append to or reorder it.
 func (n *Network) Params() []*Param {
-	var ps []*Param
+	if n.paramsCache != nil && n.paramsLayers == len(n.Layers) {
+		return n.paramsCache
+	}
+	ps := []*Param{}
 	for _, l := range n.Layers {
 		ps = append(ps, l.Params()...)
 	}
+	n.paramsCache, n.paramsLayers = ps, len(n.Layers)
 	return ps
 }
 

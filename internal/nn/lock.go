@@ -29,6 +29,8 @@ type Lock struct {
 	ID      string // stable identifier used by the key schedule
 	Factors []float64
 	Engaged bool
+
+	y, dx *tensor.Tensor // layer-owned scratch, resized on shape change
 }
 
 // NewLock creates an engaged lock of size n with all factors +1 (k_j = 0).
@@ -99,15 +101,15 @@ func (l *Lock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Lock %s sized %d cannot apply to %v", l.ID, feat, x.Shape))
 	}
 	n := x.Shape[0]
-	y := tensor.New(x.Shape...)
+	l.y = tensor.EnsureShape(l.y, x.Shape...)
 	for i := 0; i < n; i++ {
 		src := x.Data[i*feat : (i+1)*feat]
-		dst := y.Data[i*feat : (i+1)*feat]
+		dst := l.y.Data[i*feat : (i+1)*feat]
 		for j, v := range src {
 			dst[j] = l.Factors[j] * v
 		}
 	}
-	return y
+	return l.y
 }
 
 // Backward implements Layer: dx = L ⊙ grad — the key-dependent term of the
@@ -118,13 +120,13 @@ func (l *Lock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	feat := len(l.Factors)
 	n := grad.Shape[0]
-	dx := tensor.New(grad.Shape...)
+	l.dx = tensor.EnsureShape(l.dx, grad.Shape...)
 	for i := 0; i < n; i++ {
 		src := grad.Data[i*feat : (i+1)*feat]
-		dst := dx.Data[i*feat : (i+1)*feat]
+		dst := l.dx.Data[i*feat : (i+1)*feat]
 		for j, v := range src {
 			dst[j] = l.Factors[j] * v
 		}
 	}
-	return dx
+	return l.dx
 }

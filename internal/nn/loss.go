@@ -14,12 +14,20 @@ type SoftmaxCrossEntropy struct{}
 
 // Loss returns the mean cross-entropy of logits [N, K] against integer
 // labels, plus dLoss/dLogits ready for Network.Backward.
-func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+func (s SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	return s.LossInto(nil, logits, labels)
+}
+
+// LossInto is the buffer-reusing form of Loss: the gradient is written into
+// grad (resized in place; allocated when nil) and returned. Training loops
+// keep one gradient buffer alive across steps, so the loss stage costs no
+// allocations after warmup.
+func (SoftmaxCrossEntropy) LossInto(grad *tensor.Tensor, logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
 	n, k := logits.Shape[0], logits.Shape[1]
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
 	}
-	grad := tensor.New(n, k)
+	grad = tensor.EnsureShape(grad, n, k)
 	total := 0.0
 	invN := 1 / float64(n)
 	for i := 0; i < n; i++ {
@@ -91,13 +99,19 @@ type MSE struct{}
 
 // Loss returns the cost and dLoss/dOutput for predictions and targets of
 // identical shape [N, K].
-func (MSE) Loss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+func (m MSE) Loss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	return m.LossInto(nil, pred, target)
+}
+
+// LossInto is the buffer-reusing form of Loss: the gradient is written into
+// grad (resized in place; allocated when nil) and returned.
+func (MSE) LossInto(grad *tensor.Tensor, pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	if pred.Len() != target.Len() {
 		panic("nn: MSE shape mismatch")
 	}
 	n := pred.Shape[0]
 	invN := 1 / float64(n)
-	grad := tensor.New(pred.Shape...)
+	grad = tensor.EnsureShape(grad, pred.Shape...)
 	total := 0.0
 	for i := range pred.Data {
 		d := pred.Data[i] - target.Data[i]

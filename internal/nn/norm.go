@@ -11,6 +11,10 @@ import (
 // batch and spatial dimensions, with learnable scale (gamma) and shift
 // (beta) and running statistics for inference. ResNet-18 uses it after
 // every convolution.
+//
+// The output, normalized-input cache and input gradient are layer-owned
+// scratch reused across steps; channels fan out on the worker pool through
+// top-level worker functions, so steady-state calls allocate nothing.
 type BatchNorm2D struct {
 	C        int
 	Eps      float64
@@ -24,6 +28,12 @@ type BatchNorm2D struct {
 	lastXHat  *tensor.Tensor
 	lastStd   []float64
 	lastShape []int
+
+	y, dx *tensor.Tensor
+
+	// Per-call geometry and operand views read by the pool workers.
+	n, pix             int
+	fx, fy, fgrad, fdx []float64
 }
 
 // NewBatchNorm2D constructs a batch-norm layer for c channels.
@@ -53,94 +63,109 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 4 || x.Shape[1] != b.C {
 		panic(fmt.Sprintf("nn: BatchNorm2D(%d) got %v", b.C, x.Shape))
 	}
-	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	pix := h * w
-	cnt := float64(n * pix)
-	y := tensor.New(x.Shape...)
+	b.n, b.pix = x.Shape[0], x.Shape[2]*x.Shape[3]
+	b.y = tensor.EnsureShape(b.y, x.Shape...)
 	b.lastShape = append(b.lastShape[:0], x.Shape...)
+	b.fx, b.fy = x.Data, b.y.Data
 
 	if train {
-		b.lastXHat = tensor.New(x.Shape...)
-		if len(b.lastStd) != c {
-			b.lastStd = make([]float64, c)
-		}
-		tensor.Parallel(c, func(ch int) {
-			mean := 0.0
-			for i := 0; i < n; i++ {
-				base := (i*c + ch) * pix
-				for p := 0; p < pix; p++ {
-					mean += x.Data[base+p]
-				}
-			}
-			mean /= cnt
-			variance := 0.0
-			for i := 0; i < n; i++ {
-				base := (i*c + ch) * pix
-				for p := 0; p < pix; p++ {
-					d := x.Data[base+p] - mean
-					variance += d * d
-				}
-			}
-			variance /= cnt
-			std := math.Sqrt(variance + b.Eps)
-			b.lastStd[ch] = std
-			g, be := b.Gamma.Value.Data[ch], b.Beta.Value.Data[ch]
-			for i := 0; i < n; i++ {
-				base := (i*c + ch) * pix
-				for p := 0; p < pix; p++ {
-					xh := (x.Data[base+p] - mean) / std
-					b.lastXHat.Data[base+p] = xh
-					y.Data[base+p] = g*xh + be
-				}
-			}
-			b.RunMean.Data[ch] = (1-b.Momentum)*b.RunMean.Data[ch] + b.Momentum*mean
-			b.RunVar.Data[ch] = (1-b.Momentum)*b.RunVar.Data[ch] + b.Momentum*variance
-		})
-		return y
+		b.lastXHat = tensor.EnsureShape(b.lastXHat, x.Shape...)
+		b.lastStd = tensor.EnsureFloats(b.lastStd, b.C)
+		tensor.ParallelCtx(b.C, b, bnTrainFwdWorker)
+		return b.y
 	}
 
-	tensor.Parallel(c, func(ch int) {
-		mean := b.RunMean.Data[ch]
-		std := math.Sqrt(b.RunVar.Data[ch] + b.Eps)
-		g, be := b.Gamma.Value.Data[ch], b.Beta.Value.Data[ch]
-		for i := 0; i < n; i++ {
-			base := (i*c + ch) * pix
-			for p := 0; p < pix; p++ {
-				y.Data[base+p] = g*(x.Data[base+p]-mean)/std + be
-			}
+	tensor.ParallelCtx(b.C, b, bnEvalFwdWorker)
+	return b.y
+}
+
+// bnTrainFwdWorker normalizes channel ch with batch statistics and updates
+// the running statistics. Each worker owns a disjoint channel, so the
+// running-stat writes race with nothing.
+func bnTrainFwdWorker(ctx any, ch int) {
+	b := ctx.(*BatchNorm2D)
+	n, c, pix := b.n, b.C, b.pix
+	cnt := float64(n * pix)
+	mean := 0.0
+	for i := 0; i < n; i++ {
+		base := (i*c + ch) * pix
+		for p := 0; p < pix; p++ {
+			mean += b.fx[base+p]
 		}
-	})
-	return y
+	}
+	mean /= cnt
+	variance := 0.0
+	for i := 0; i < n; i++ {
+		base := (i*c + ch) * pix
+		for p := 0; p < pix; p++ {
+			d := b.fx[base+p] - mean
+			variance += d * d
+		}
+	}
+	variance /= cnt
+	std := math.Sqrt(variance + b.Eps)
+	b.lastStd[ch] = std
+	g, be := b.Gamma.Value.Data[ch], b.Beta.Value.Data[ch]
+	for i := 0; i < n; i++ {
+		base := (i*c + ch) * pix
+		for p := 0; p < pix; p++ {
+			xh := (b.fx[base+p] - mean) / std
+			b.lastXHat.Data[base+p] = xh
+			b.fy[base+p] = g*xh + be
+		}
+	}
+	b.RunMean.Data[ch] = (1-b.Momentum)*b.RunMean.Data[ch] + b.Momentum*mean
+	b.RunVar.Data[ch] = (1-b.Momentum)*b.RunVar.Data[ch] + b.Momentum*variance
+}
+
+func bnEvalFwdWorker(ctx any, ch int) {
+	b := ctx.(*BatchNorm2D)
+	n, c, pix := b.n, b.C, b.pix
+	mean := b.RunMean.Data[ch]
+	std := math.Sqrt(b.RunVar.Data[ch] + b.Eps)
+	g, be := b.Gamma.Value.Data[ch], b.Beta.Value.Data[ch]
+	for i := 0; i < n; i++ {
+		base := (i*c + ch) * pix
+		for p := 0; p < pix; p++ {
+			b.fy[base+p] = g*(b.fx[base+p]-mean)/std + be
+		}
+	}
 }
 
 // Backward implements Layer (training mode statistics).
 func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	n, c, h, w := b.lastShape[0], b.lastShape[1], b.lastShape[2], b.lastShape[3]
-	pix := h * w
+	b.n, b.pix = b.lastShape[0], b.lastShape[2]*b.lastShape[3]
+	b.dx = tensor.EnsureShape(b.dx, grad.Shape...)
+	b.fgrad, b.fdx = grad.Data, b.dx.Data
+	tensor.ParallelCtx(b.C, b, bnBwdWorker)
+	return b.dx
+}
+
+// bnBwdWorker backpropagates channel ch. Gamma/Beta gradient accumulation
+// is per-channel, so disjoint workers never contend.
+func bnBwdWorker(ctx any, ch int) {
+	b := ctx.(*BatchNorm2D)
+	n, c, pix := b.n, b.C, b.pix
 	cnt := float64(n * pix)
-	dx := tensor.New(grad.Shape...)
-	tensor.Parallel(c, func(ch int) {
-		g := b.Gamma.Value.Data[ch]
-		std := b.lastStd[ch]
-		var sumDy, sumDyXhat float64
-		for i := 0; i < n; i++ {
-			base := (i*c + ch) * pix
-			for p := 0; p < pix; p++ {
-				dy := grad.Data[base+p]
-				sumDy += dy
-				sumDyXhat += dy * b.lastXHat.Data[base+p]
-			}
+	g := b.Gamma.Value.Data[ch]
+	std := b.lastStd[ch]
+	var sumDy, sumDyXhat float64
+	for i := 0; i < n; i++ {
+		base := (i*c + ch) * pix
+		for p := 0; p < pix; p++ {
+			dy := b.fgrad[base+p]
+			sumDy += dy
+			sumDyXhat += dy * b.lastXHat.Data[base+p]
 		}
-		b.Beta.Grad.Data[ch] += sumDy
-		b.Gamma.Grad.Data[ch] += sumDyXhat
-		for i := 0; i < n; i++ {
-			base := (i*c + ch) * pix
-			for p := 0; p < pix; p++ {
-				dy := grad.Data[base+p]
-				xh := b.lastXHat.Data[base+p]
-				dx.Data[base+p] = g / std * (dy - sumDy/cnt - xh*sumDyXhat/cnt)
-			}
+	}
+	b.Beta.Grad.Data[ch] += sumDy
+	b.Gamma.Grad.Data[ch] += sumDyXhat
+	for i := 0; i < n; i++ {
+		base := (i*c + ch) * pix
+		for p := 0; p < pix; p++ {
+			dy := b.fgrad[base+p]
+			xh := b.lastXHat.Data[base+p]
+			b.fdx[base+p] = g / std * (dy - sumDy/cnt - xh*sumDyXhat/cnt)
 		}
-	})
-	return dx
+	}
 }

@@ -2,17 +2,24 @@ package nn
 
 import (
 	"fmt"
-	"math"
 
 	"hpnn/internal/tensor"
 )
 
-// MaxPool is a 2-D max-pooling layer over [N, C, H, W] batches.
+// MaxPool is a 2-D max-pooling layer over [N, C, H, W] batches. The output,
+// input gradient and argmax index cache are layer-owned scratch reused
+// across steps; the batch is fanned out on the worker pool through
+// top-level worker functions so steady-state calls allocate nothing.
 type MaxPool struct {
 	Geom tensor.ConvGeom // InC/InH/InW describe per-sample input; KH/KW/Stride the window
 
+	out, dx *tensor.Tensor
 	lastArg []int // flat input index chosen per output element
 	lastN   int
+
+	// Per-call operand views read by the pool workers.
+	featIn, featOut      int
+	fx, fout, fgrad, fdx []float64
 }
 
 // NewMaxPool constructs a max-pooling layer. The geometry's InC/InH/InW
@@ -43,69 +50,41 @@ func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := m.Geom
 	n := x.Shape[0]
 	outH, outW := g.OutH(), g.OutW()
-	featIn := g.InC * g.InH * g.InW
-	featOut := g.InC * outH * outW
-	out := tensor.New(n, g.InC, outH, outW)
-	if len(m.lastArg) != n*featOut {
-		m.lastArg = make([]int, n*featOut)
-	}
+	m.featIn = g.InLen()
+	m.featOut = g.InC * outH * outW
+	m.out = tensor.EnsureShape(m.out, n, g.InC, outH, outW)
+	m.lastArg = tensor.EnsureInts(m.lastArg, n*m.featOut)
 	m.lastN = n
-	tensor.Parallel(n, func(i int) {
-		src := x.Data[i*featIn : (i+1)*featIn]
-		dst := out.Data[i*featOut : (i+1)*featOut]
-		arg := m.lastArg[i*featOut : (i+1)*featOut]
-		o := 0
-		for c := 0; c < g.InC; c++ {
-			base := c * g.InH * g.InW
-			for oy := 0; oy < outH; oy++ {
-				for ox := 0; ox < outW; ox++ {
-					best := math.Inf(-1)
-					bestIdx := -1
-					for ky := 0; ky < g.KH; ky++ {
-						iy := oy*g.Stride + ky - g.Pad
-						if iy < 0 || iy >= g.InH {
-							continue
-						}
-						for kx := 0; kx < g.KW; kx++ {
-							ix := ox*g.Stride + kx - g.Pad
-							if ix < 0 || ix >= g.InW {
-								continue
-							}
-							idx := base + iy*g.InW + ix
-							if src[idx] > best {
-								best = src[idx]
-								bestIdx = idx
-							}
-						}
-					}
-					dst[o] = best
-					arg[o] = bestIdx
-					o++
-				}
-			}
-		}
-	})
-	return out
+	m.fx, m.fout = x.Data, m.out.Data
+	tensor.ParallelCtx(n, m, maxPoolFwdWorker)
+	return m.out
+}
+
+func maxPoolFwdWorker(ctx any, i int) {
+	m := ctx.(*MaxPool)
+	tensor.MaxPool2D(
+		m.fout[i*m.featOut:(i+1)*m.featOut],
+		m.lastArg[i*m.featOut:(i+1)*m.featOut],
+		m.fx[i*m.featIn:(i+1)*m.featIn],
+		m.Geom)
 }
 
 // Backward implements Layer.
 func (m *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := m.Geom
 	n := m.lastN
-	featIn := g.InC * g.InH * g.InW
-	featOut := g.InC * g.OutH() * g.OutW()
-	dx := tensor.New(n, g.InC, g.InH, g.InW)
-	tensor.Parallel(n, func(i int) {
-		src := grad.Data[i*featOut : (i+1)*featOut]
-		dst := dx.Data[i*featIn : (i+1)*featIn]
-		arg := m.lastArg[i*featOut : (i+1)*featOut]
-		for o, a := range arg {
-			if a >= 0 {
-				dst[a] += src[o]
-			}
-		}
-	})
-	return dx
+	m.dx = tensor.EnsureShape(m.dx, n, g.InC, g.InH, g.InW)
+	m.fgrad, m.fdx = grad.Data, m.dx.Data
+	tensor.ParallelCtx(n, m, maxPoolBwdWorker)
+	return m.dx
+}
+
+func maxPoolBwdWorker(ctx any, i int) {
+	m := ctx.(*MaxPool)
+	tensor.MaxPool2DGrad(
+		m.fdx[i*m.featIn:(i+1)*m.featIn],
+		m.fgrad[i*m.featOut:(i+1)*m.featOut],
+		m.lastArg[i*m.featOut:(i+1)*m.featOut])
 }
 
 // AvgPool is a 2-D average-pooling layer (zero-padding contributes to the
@@ -114,6 +93,11 @@ func (m *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 type AvgPool struct {
 	Geom  tensor.ConvGeom
 	lastN int
+
+	out, dx *tensor.Tensor
+
+	featIn, featOut      int
+	fx, fout, fgrad, fdx []float64
 }
 
 // NewAvgPool constructs an average-pooling layer.
@@ -137,85 +121,46 @@ func (a *AvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := a.Geom
 	n := x.Shape[0]
 	outH, outW := g.OutH(), g.OutW()
-	featIn := g.InC * g.InH * g.InW
-	featOut := g.InC * outH * outW
+	a.featIn = g.InLen()
+	a.featOut = g.InC * outH * outW
 	a.lastN = n
-	out := tensor.New(n, g.InC, outH, outW)
-	inv := 1 / float64(g.KH*g.KW)
-	tensor.Parallel(n, func(i int) {
-		src := x.Data[i*featIn : (i+1)*featIn]
-		dst := out.Data[i*featOut : (i+1)*featOut]
-		o := 0
-		for c := 0; c < g.InC; c++ {
-			base := c * g.InH * g.InW
-			for oy := 0; oy < outH; oy++ {
-				for ox := 0; ox < outW; ox++ {
-					s := 0.0
-					for ky := 0; ky < g.KH; ky++ {
-						iy := oy*g.Stride + ky - g.Pad
-						if iy < 0 || iy >= g.InH {
-							continue
-						}
-						for kx := 0; kx < g.KW; kx++ {
-							ix := ox*g.Stride + kx - g.Pad
-							if ix < 0 || ix >= g.InW {
-								continue
-							}
-							s += src[base+iy*g.InW+ix]
-						}
-					}
-					dst[o] = s * inv
-					o++
-				}
-			}
-		}
-	})
-	return out
+	a.out = tensor.EnsureShape(a.out, n, g.InC, outH, outW)
+	a.fx, a.fout = x.Data, a.out.Data
+	tensor.ParallelCtx(n, a, avgPoolFwdWorker)
+	return a.out
+}
+
+func avgPoolFwdWorker(ctx any, i int) {
+	a := ctx.(*AvgPool)
+	tensor.AvgPool2D(
+		a.fout[i*a.featOut:(i+1)*a.featOut],
+		a.fx[i*a.featIn:(i+1)*a.featIn],
+		a.Geom)
 }
 
 // Backward implements Layer.
 func (a *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := a.Geom
 	n := a.lastN
-	outH, outW := g.OutH(), g.OutW()
-	featIn := g.InC * g.InH * g.InW
-	featOut := g.InC * outH * outW
-	dx := tensor.New(n, g.InC, g.InH, g.InW)
-	inv := 1 / float64(g.KH*g.KW)
-	tensor.Parallel(n, func(i int) {
-		src := grad.Data[i*featOut : (i+1)*featOut]
-		dst := dx.Data[i*featIn : (i+1)*featIn]
-		o := 0
-		for c := 0; c < g.InC; c++ {
-			base := c * g.InH * g.InW
-			for oy := 0; oy < outH; oy++ {
-				for ox := 0; ox < outW; ox++ {
-					gv := src[o] * inv
-					o++
-					for ky := 0; ky < g.KH; ky++ {
-						iy := oy*g.Stride + ky - g.Pad
-						if iy < 0 || iy >= g.InH {
-							continue
-						}
-						for kx := 0; kx < g.KW; kx++ {
-							ix := ox*g.Stride + kx - g.Pad
-							if ix < 0 || ix >= g.InW {
-								continue
-							}
-							dst[base+iy*g.InW+ix] += gv
-						}
-					}
-				}
-			}
-		}
-	})
-	return dx
+	a.dx = tensor.EnsureShape(a.dx, n, g.InC, g.InH, g.InW)
+	a.fgrad, a.fdx = grad.Data, a.dx.Data
+	tensor.ParallelCtx(n, a, avgPoolBwdWorker)
+	return a.dx
+}
+
+func avgPoolBwdWorker(ctx any, i int) {
+	a := ctx.(*AvgPool)
+	tensor.AvgPool2DGrad(
+		a.fdx[i*a.featIn:(i+1)*a.featIn],
+		a.fgrad[i*a.featOut:(i+1)*a.featOut],
+		a.Geom)
 }
 
 // GlobalAvgPool averages each channel's full spatial map, producing [N, C].
 // ResNet-18 uses it ahead of the final classifier.
 type GlobalAvgPool struct {
 	lastShape []int
+	out, dx   *tensor.Tensor
 }
 
 // NewGlobalAvgPool returns a global average pooling layer.
@@ -235,7 +180,7 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g.lastShape = append(g.lastShape[:0], x.Shape...)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	pix := h * w
-	out := tensor.New(n, c)
+	g.out = tensor.EnsureShape(g.out, n, c)
 	inv := 1 / float64(pix)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -244,26 +189,26 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			for p := 0; p < pix; p++ {
 				s += x.Data[base+p]
 			}
-			out.Data[i*c+ch] = s * inv
+			g.out.Data[i*c+ch] = s * inv
 		}
 	}
-	return out
+	return g.out
 }
 
 // Backward implements Layer.
 func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
 	pix := h * w
-	dx := tensor.New(n, c, h, w)
+	g.dx = tensor.EnsureShape(g.dx, n, c, h, w)
 	inv := 1 / float64(pix)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
 			gv := grad.Data[i*c+ch] * inv
 			base := (i*c + ch) * pix
 			for p := 0; p < pix; p++ {
-				dx.Data[base+p] = gv
+				g.dx.Data[base+p] = gv
 			}
 		}
 	}
-	return dx
+	return g.dx
 }

@@ -18,6 +18,7 @@ type Residual struct {
 	Post *Network // may be empty
 
 	lastBodyOut *tensor.Tensor
+	sum, dx     *tensor.Tensor // layer-owned scratch, resized on shape change
 }
 
 // NewResidual constructs a residual block.
@@ -63,12 +64,12 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if body.Len() != skip.Len() {
 		panic(fmt.Sprintf("nn: residual join mismatch %v vs %v", body.Shape, skip.Shape))
 	}
-	sum := tensor.New(body.Shape...)
-	for i := range sum.Data {
-		sum.Data[i] = body.Data[i] + skip.Data[i]
+	r.sum = tensor.EnsureShape(r.sum, body.Shape...)
+	for i := range r.sum.Data {
+		r.sum.Data[i] = body.Data[i] + skip.Data[i]
 	}
 	r.lastBodyOut = body
-	return r.Post.Forward(sum, train)
+	return r.Post.Forward(r.sum, train)
 }
 
 // Backward implements Layer.
@@ -81,9 +82,12 @@ func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	} else {
 		gSkip = gSum
 	}
-	dx := tensor.New(gBody.Shape...)
-	for i := range dx.Data {
-		dx.Data[i] = gBody.Data[i] + gSkip.Data[i]
+	// gSum stays valid across both sub-backwards: it is owned by Post's
+	// layers (or is the caller's grad when Post is empty), while Body and
+	// Skip write into their own scratch.
+	r.dx = tensor.EnsureShape(r.dx, gBody.Shape...)
+	for i := range r.dx.Data {
+		r.dx.Data[i] = gBody.Data[i] + gSkip.Data[i]
 	}
-	return dx
+	return r.dx
 }

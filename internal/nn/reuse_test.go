@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"testing"
+
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// Buffer-reuse regression tests. Since the workspace refactor every layer
+// returns layer-owned scratch that is overwritten on the next call; these
+// tests pin down the two properties that refactor must preserve:
+//
+//  1. determinism — a warmed-up pass (reusing buffers) is bitwise identical
+//     to the very first pass of a freshly constructed network (which
+//     allocates everything from scratch), and
+//  2. zero allocations — a warmed-up Forward/Backward allocates nothing.
+
+// reuseNet builds a small network covering every scratch-caching layer kind
+// (conv, lock, activation, batchnorm, pool, flatten, dense). Identical seeds
+// yield bitwise-identical parameters.
+func reuseNet(seed uint64) *Network {
+	r := rng.New(seed)
+	g := tensor.ConvGeom{InC: 2, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	pool := tensor.ConvGeom{InC: 4, InH: 8, InW: 8, KH: 2, KW: 2, Stride: 2}
+	lock := NewLock("reuse", 4*8*8)
+	bits := make([]byte, lock.Neurons())
+	kr := rng.New(99)
+	for i := range bits {
+		bits[i] = byte(kr.Intn(2))
+	}
+	lock.SetBits(bits)
+	return NewNetwork(
+		NewConv2D(g, 4).InitHe(r),
+		lock,
+		NewReLU(),
+		NewBatchNorm2D(4),
+		NewMaxPool(pool),
+		NewFlatten(),
+		NewDense(4*4*4, 5).InitHe(r),
+	)
+}
+
+// runPass executes one full train-mode forward/backward and deep-copies the
+// results (outputs and scratch are invalidated by the next pass).
+func runPass(net *Network, x *tensor.Tensor, labels []int) (out, dx *tensor.Tensor, grads []*tensor.Tensor) {
+	loss := SoftmaxCrossEntropy{}
+	net.ZeroGrad()
+	o := net.Forward(x, true)
+	_, g := loss.Loss(o, labels)
+	d := net.Backward(g)
+	out, dx = o.Clone(), d.Clone()
+	for _, p := range net.Params() {
+		grads = append(grads, p.Grad.Clone())
+	}
+	return out, dx, grads
+}
+
+func bitwiseEqual(a, b *tensor.Tensor) bool {
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReusedBuffersMatchFreshNetwork checks that the second pass of a
+// network (running entirely on reused scratch) is bitwise identical to the
+// first pass of an identically seeded fresh network (which takes the
+// allocate-fresh path for every buffer). Any stale-buffer bug — a kernel
+// that skips writing zeros, an aliased workspace region, a reduction whose
+// order depends on buffer history — breaks exact equality here.
+func TestReusedBuffersMatchFreshNetwork(t *testing.T) {
+	x := tensor.New(3, 2, 8, 8)
+	x.FillNorm(rng.New(5), 0, 1)
+	labels := []int{0, 2, 4}
+
+	warm := reuseNet(11)
+	runPass(warm, x, labels) // warmup: allocates and caches all scratch
+	out2, dx2, grads2 := runPass(warm, x, labels)
+
+	fresh := reuseNet(11)
+	out1, dx1, grads1 := runPass(fresh, x, labels)
+
+	if !bitwiseEqual(out1, out2) {
+		t.Errorf("reused-buffer forward differs from allocate-fresh forward")
+	}
+	if !bitwiseEqual(dx1, dx2) {
+		t.Errorf("reused-buffer input gradient differs from allocate-fresh")
+	}
+	for i := range grads1 {
+		if !bitwiseEqual(grads1[i], grads2[i]) {
+			t.Errorf("reused-buffer gradient %d differs from allocate-fresh", i)
+		}
+	}
+}
+
+// TestReusedBuffersSurviveBatchShrink runs the short-final-batch pattern:
+// full batch, short batch, full batch again. The re-grown pass must match
+// a fresh network bitwise — this catches EnsureShape resize bugs where a
+// shrink corrupts the header or loses capacity.
+func TestReusedBuffersSurviveBatchShrink(t *testing.T) {
+	xFull := tensor.New(4, 2, 8, 8)
+	xFull.FillNorm(rng.New(6), 0, 1)
+	xShort := tensor.New(1, 2, 8, 8)
+	copy(xShort.Data, xFull.Data[:xShort.Len()])
+	full := []int{1, 3, 0, 2}
+	short := []int{1}
+
+	warm := reuseNet(12)
+	runPass(warm, xFull, full)
+	runPass(warm, xShort, short)
+	out2, dx2, grads2 := runPass(warm, xFull, full)
+
+	fresh := reuseNet(12)
+	out1, dx1, grads1 := runPass(fresh, xFull, full)
+
+	if !bitwiseEqual(out1, out2) || !bitwiseEqual(dx1, dx2) {
+		t.Errorf("pass after batch shrink/regrow differs from allocate-fresh")
+	}
+	for i := range grads1 {
+		if !bitwiseEqual(grads1[i], grads2[i]) {
+			t.Errorf("gradient %d differs after batch shrink/regrow", i)
+		}
+	}
+}
+
+// TestLayerPassZeroAllocSteadyState checks that a warmed-up full
+// forward/backward over every scratch-caching layer performs zero heap
+// allocations.
+func TestLayerPassZeroAllocSteadyState(t *testing.T) {
+	net := reuseNet(13)
+	x := tensor.New(3, 2, 8, 8)
+	x.FillNorm(rng.New(7), 0, 1)
+	labels := []int{0, 2, 4}
+	loss := SoftmaxCrossEntropy{}
+	params := net.Params()
+	var gradBuf *tensor.Tensor
+	pass := func() {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		_, g := loss.LossInto(gradBuf, out, labels)
+		gradBuf = g
+		net.Backward(g)
+		_ = params
+	}
+	pass() // warmup: scratch and loss-grad buffers settle
+	if allocs := testing.AllocsPerRun(10, pass); allocs != 0 {
+		t.Errorf("forward/backward: %v allocs/run in steady state, want 0", allocs)
+	}
+}

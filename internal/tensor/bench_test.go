@@ -22,12 +22,28 @@ func BenchmarkMatMul128(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulInto128 is the workspace-reuse counterpart of
+// BenchmarkMatMul128: the destination lives across iterations, so
+// steady-state allocs/op must be zero.
+func BenchmarkMatMulInto128(b *testing.B) {
+	x := benchTensor(128, 128)
+	y := benchTensor(128, 128)
+	dst := New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
 func BenchmarkMatMulNT128(b *testing.B) {
 	x := benchTensor(128, 128)
 	y := benchTensor(128, 128)
+	dst := New(128, 128)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MatMulNT(x, y)
+		MatMulNTInto(dst, x, y)
 	}
 }
 
@@ -36,6 +52,7 @@ func BenchmarkIm2Col(b *testing.B) {
 	img.FillNorm(rng.New(2), 0, 1)
 	g := ConvGeom{InC: 16, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
 	col := New(16*9, 32*32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Im2ColInto(col, img, g)
@@ -49,14 +66,20 @@ func BenchmarkConvGEMMvsDirect(b *testing.B) {
 	kern.FillNorm(rng.New(4), 0, 1)
 	g := ConvGeom{InC: 8, InH: 16, InW: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
 	b.Run("gemm", func(b *testing.B) {
+		kmat := kern.Reshape(16, 8*9)
+		col := New(8*9, 16*16)
+		dst := New(16, 16*16)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			col := Im2Col(img, g)
-			MatMul(kern.Reshape(16, 8*9), col)
+			Im2ColInto(col, img, g)
+			MatMulInto(dst, kmat, col)
 		}
 	})
 	b.Run("direct", func(b *testing.B) {
+		out := New(16, 16, 16)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			ConvDirect(img, kern, g)
+			ConvDirectInto(out, img, kern, g)
 		}
 	})
 }

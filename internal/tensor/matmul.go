@@ -2,123 +2,174 @@ package tensor
 
 import "fmt"
 
+// The GEMM kernels dispatch through ParallelKernel with top-level worker
+// functions, so a steady-state call allocates nothing: operand views travel
+// in a KernelArgs value copied into the worker pool, not in a closure.
+
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n).
 // Rows of the result are computed in parallel.
 func MatMul(a, b *Tensor) *Tensor {
+	m, _ := dims2(a, "MatMul lhs")
+	_, n := dims2(b, "MatMul rhs")
+	return MatMulInto(New(m, n), a, b)
+}
+
+// MatMulInto computes dst = A·B, reusing dst's storage. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
 	m, k := dims2(a, "MatMul lhs")
 	k2, n := dims2(b, "MatMul rhs")
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
 	}
-	c := New(m, n)
-	MatMulInto(c, a, b)
-	return c
-}
-
-// MatMulInto computes dst = A·B, reusing dst's storage. dst must be m×n.
-func MatMulInto(dst, a, b *Tensor) {
-	m, k := dims2(a, "MatMul lhs")
-	_, n := dims2(b, "MatMul rhs")
 	if len(dst.Data) != m*n {
 		panic("tensor: MatMulInto destination size mismatch")
 	}
-	ad, bd, cd := a.Data, b.Data, dst.Data
-	Parallel(m, func(i int) {
-		crow := cd[i*n : (i+1)*n]
-		for x := range crow {
-			crow[x] = 0
+	ParallelKernel(m, &KernelArgs{Dst: dst.Data, A: a.Data, B: b.Data, N: n, K: k}, matMulRow)
+	return dst
+}
+
+func matMulRow(g *KernelArgs, i int) {
+	n, k := g.N, g.K
+	crow := g.Dst[i*n : (i+1)*n]
+	for x := range crow {
+		crow[x] = 0
+	}
+	arow := g.A[i*k : (i+1)*k]
+	for p, av := range arow {
+		if av == 0 {
+			continue
 		}
-		arow := ad[i*k : (i+1)*k]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := bd[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+		brow := g.B[p*n : (p+1)*n]
+		for j, bv := range brow {
+			crow[j] += av * bv
 		}
-	})
+	}
 }
 
 // MatMulNT computes C = A·Bᵀ where A is m×k and B is n×k.
 func MatMulNT(a, b *Tensor) *Tensor {
+	m, _ := dims2(a, "MatMulNT lhs")
+	n, _ := dims2(b, "MatMulNT rhs")
+	return MatMulNTInto(New(m, n), a, b)
+}
+
+// MatMulNTInto computes dst = A·Bᵀ, reusing dst's storage. dst must be m×n.
+func MatMulNTInto(dst, a, b *Tensor) *Tensor {
 	m, k := dims2(a, "MatMulNT lhs")
 	n, k2 := dims2(b, "MatMulNT rhs")
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulNT inner dims %d != %d", k, k2))
 	}
-	c := New(m, n)
-	ad, bd, cd := a.Data, b.Data, c.Data
-	Parallel(m, func(i int) {
-		arow := ad[i*k : (i+1)*k]
-		crow := cd[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := bd[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] = s
+	if len(dst.Data) != m*n {
+		panic("tensor: MatMulNTInto destination size mismatch")
+	}
+	ParallelKernel(m, &KernelArgs{Dst: dst.Data, A: a.Data, B: b.Data, N: n, K: k}, matMulNTRow)
+	return dst
+}
+
+func matMulNTRow(g *KernelArgs, i int) {
+	n, k := g.N, g.K
+	arow := g.A[i*k : (i+1)*k]
+	crow := g.Dst[i*n : (i+1)*n]
+	for j := 0; j < n; j++ {
+		brow := g.B[j*k : (j+1)*k]
+		s := 0.0
+		for p, av := range arow {
+			s += av * brow[p]
 		}
-	})
-	return c
+		crow[j] = s
+	}
 }
 
 // MatMulTN computes C = Aᵀ·B where A is k×m and B is k×n.
 func MatMulTN(a, b *Tensor) *Tensor {
+	_, m := dims2(a, "MatMulTN lhs")
+	_, n := dims2(b, "MatMulTN rhs")
+	return MatMulTNInto(New(m, n), a, b)
+}
+
+// MatMulTNInto computes dst = Aᵀ·B, reusing dst's storage. dst must be m×n.
+func MatMulTNInto(dst, a, b *Tensor) *Tensor {
 	k, m := dims2(a, "MatMulTN lhs")
 	k2, n := dims2(b, "MatMulTN rhs")
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTN inner dims %d != %d", k, k2))
 	}
-	c := New(m, n)
-	ad, bd, cd := a.Data, b.Data, c.Data
-	Parallel(m, func(i int) {
-		crow := cd[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := ad[p*m+i]
-			if av == 0 {
-				continue
-			}
-			brow := bd[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+	if len(dst.Data) != m*n {
+		panic("tensor: MatMulTNInto destination size mismatch")
+	}
+	ParallelKernel(m, &KernelArgs{Dst: dst.Data, A: a.Data, B: b.Data, M: m, N: n, K: k}, matMulTNRow)
+	return dst
+}
+
+func matMulTNRow(g *KernelArgs, i int) {
+	m, n, k := g.M, g.N, g.K
+	crow := g.Dst[i*n : (i+1)*n]
+	for x := range crow {
+		crow[x] = 0
+	}
+	for p := 0; p < k; p++ {
+		av := g.A[p*m+i]
+		if av == 0 {
+			continue
 		}
-	})
-	return c
+		brow := g.B[p*n : (p+1)*n]
+		for j, bv := range brow {
+			crow[j] += av * bv
+		}
+	}
 }
 
 // Transpose returns Aᵀ for a 2-D tensor.
 func Transpose(a *Tensor) *Tensor {
 	m, n := dims2(a, "Transpose")
-	t := New(n, m)
+	return TransposeInto(New(n, m), a)
+}
+
+// TransposeInto computes dst = Aᵀ, reusing dst's storage. dst must be n×m
+// for an m×n input.
+func TransposeInto(dst, a *Tensor) *Tensor {
+	m, n := dims2(a, "Transpose")
+	if len(dst.Data) != m*n {
+		panic("tensor: TransposeInto destination size mismatch")
+	}
 	for i := 0; i < m; i++ {
 		row := a.Data[i*n : (i+1)*n]
 		for j, v := range row {
-			t.Data[j*m+i] = v
+			dst.Data[j*m+i] = v
 		}
 	}
-	return t
+	return dst
 }
 
 // MatVec computes y = A·x for A m×k and x of length k.
 func MatVec(a *Tensor, x []float64) []float64 {
+	m, _ := dims2(a, "MatVec")
+	y := make([]float64, m)
+	MatVecInto(y, a, x)
+	return y
+}
+
+// MatVecInto computes y = A·x into a caller-provided y of length m.
+func MatVecInto(y []float64, a *Tensor, x []float64) {
 	m, k := dims2(a, "MatVec")
 	if len(x) != k {
 		panic(fmt.Sprintf("tensor: MatVec vector length %d != %d", len(x), k))
 	}
-	y := make([]float64, m)
-	Parallel(m, func(i int) {
-		row := a.Data[i*k : (i+1)*k]
-		s := 0.0
-		for p, av := range row {
-			s += av * x[p]
-		}
-		y[i] = s
-	})
-	return y
+	if len(y) != m {
+		panic(fmt.Sprintf("tensor: MatVec destination length %d != %d", len(y), m))
+	}
+	ParallelKernel(m, &KernelArgs{Dst: y, A: a.Data, B: x, K: k}, matVecRow)
+}
+
+func matVecRow(g *KernelArgs, i int) {
+	k := g.K
+	row := g.A[i*k : (i+1)*k]
+	s := 0.0
+	for p, av := range row {
+		s += av * g.B[p]
+	}
+	g.Dst[i] = s
 }
 
 func dims2(t *Tensor, what string) (int, int) {

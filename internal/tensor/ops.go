@@ -1,0 +1,53 @@
+package tensor
+
+import "fmt"
+
+// Row/column reductions and broadcasts over 2-D tensors — the bias-add and
+// bias-gradient primitives of the dense and convolution layers, exposed as
+// allocation-free kernels.
+
+// AddRowBroadcast adds row (length n) to every row of the m×n tensor t.
+func AddRowBroadcast(t *Tensor, row []float64) {
+	m, n := dims2(t, "AddRowBroadcast")
+	if len(row) != n {
+		panic(fmt.Sprintf("tensor: AddRowBroadcast row length %d != %d", len(row), n))
+	}
+	for i := 0; i < m; i++ {
+		trow := t.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			trow[j] += v
+		}
+	}
+}
+
+// AddColSums accumulates the column sums of the m×n tensor t into dst
+// (length n): dst[j] += Σ_i t[i][j]. Used for bias gradients, which add
+// into an existing accumulator.
+func AddColSums(dst []float64, t *Tensor) {
+	m, n := dims2(t, "AddColSums")
+	if len(dst) != n {
+		panic(fmt.Sprintf("tensor: AddColSums destination length %d != %d", len(dst), n))
+	}
+	for i := 0; i < m; i++ {
+		trow := t.Data[i*n : (i+1)*n]
+		for j, v := range trow {
+			dst[j] += v
+		}
+	}
+}
+
+// SumRowsInto writes each row's sum of the m×n tensor t into dst (length m).
+func SumRowsInto(dst []float64, t *Tensor) {
+	m, n := dims2(t, "SumRowsInto")
+	if len(dst) != m {
+		panic(fmt.Sprintf("tensor: SumRowsInto destination length %d != %d", len(dst), m))
+	}
+	for i := 0; i < m; i++ {
+		trow := t.Data[i*n : (i+1)*n]
+		s := 0.0
+		for _, v := range trow {
+			s += v
+		}
+		dst[i] = s
+	}
+}

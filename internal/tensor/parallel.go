@@ -3,56 +3,200 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxWorkers caps kernel parallelism. It defaults to GOMAXPROCS and can be
 // lowered in tests for determinism probing (results are deterministic either
 // way: work is partitioned, never reduced concurrently into shared state).
-var maxWorkers = runtime.GOMAXPROCS(0)
+// It is atomic because Parallel reads it from arbitrary goroutines while
+// SetMaxWorkers may be called concurrently.
+var maxWorkers atomic.Int32
+
+func init() { maxWorkers.Store(int32(runtime.GOMAXPROCS(0))) }
 
 // SetMaxWorkers overrides the kernel worker count; n < 1 resets to
 // GOMAXPROCS. It returns the previous value.
 func SetMaxWorkers(n int) int {
-	prev := maxWorkers
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	maxWorkers = n
-	return prev
+	return int(maxWorkers.Swap(int32(n)))
 }
 
-// Parallel runs fn(i) for i in [0, n) across up to maxWorkers goroutines.
-// Each index is processed exactly once. Small n runs inline to avoid
-// goroutine overhead.
-func Parallel(n int, fn func(i int)) {
-	workers := maxWorkers
-	if workers > n {
-		workers = n
+// MaxWorkers returns the current kernel worker cap.
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// KernelArgs carries operand views for pooled kernels. Kernels that run on
+// the worker pool receive their operands through this struct instead of a
+// capturing closure, so dispatching a kernel performs no heap allocation:
+// the pool copies the struct by value into its own stable storage before
+// waking workers.
+type KernelArgs struct {
+	Dst, A, B []float64
+	M, N, K   int
+}
+
+// workerPool runs parallel regions on a set of persistent goroutines.
+//
+// One region runs at a time (the mutex serializes them); a caller that finds
+// the pool busy — including a nested Parallel from inside a kernel — simply
+// runs its indices inline, which is always correct because regions never
+// require true concurrency. The calling goroutine participates as a worker,
+// so a pool with W background workers executes on W+1 goroutines.
+//
+// Dispatch is allocation-free in steady state: workers are woken by zero-size
+// tokens on per-worker buffered channels, chunks are claimed with an atomic
+// cursor, and task state lives in pool fields written under the mutex before
+// the wake tokens are sent (the channel send/receive pair provides the
+// happens-before edge; the WaitGroup provides the reverse edge at the end of
+// the region, so resetting the fields afterwards is race-free).
+type workerPool struct {
+	mu   sync.Mutex
+	wake []chan struct{}
+	done sync.WaitGroup
+
+	// Region state. Exactly one of fn / (cfn, ctx) / (kfn, args) is set.
+	next  atomic.Int64
+	n     int
+	chunk int
+	fn    func(int)
+	cfn   func(any, int)
+	ctx   any
+	kfn   func(*KernelArgs, int)
+	args  KernelArgs
+}
+
+var pool workerPool
+
+// kargsScratch recycles KernelArgs copies for run's serial fallback. Passing
+// the caller's pointer straight to kfn would leak it, forcing every
+// &KernelArgs{...} call-site literal onto the heap even when the parallel
+// path is taken; copying into pooled scratch keeps dispatch allocation-free.
+var kargsScratch = sync.Pool{New: func() any { return new(KernelArgs) }}
+
+// ensureWorkers grows the background worker set to at least k goroutines.
+// Workers idle on their wake channel and are never torn down; lowering
+// SetMaxWorkers simply leaves the surplus asleep.
+func (p *workerPool) ensureWorkers(k int) {
+	for len(p.wake) < k {
+		ch := make(chan struct{}, 1)
+		p.wake = append(p.wake, ch)
+		go p.workerLoop(ch)
 	}
-	if workers <= 1 || n < 2 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
+}
+
+func (p *workerPool) workerLoop(ch chan struct{}) {
+	for range ch {
+		p.runChunks()
+		p.done.Done()
 	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+}
+
+// runChunks claims and executes chunks until the region's index space is
+// exhausted. Each index is processed exactly once regardless of which
+// executor claims it, so results are deterministic.
+func (p *workerPool) runChunks() {
+	n, chunk := p.n, p.chunk
+	for {
+		lo := int(p.next.Add(int64(chunk))) - chunk
 		if lo >= n {
-			break
+			return
 		}
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		switch {
+		case p.fn != nil:
 			for i := lo; i < hi; i++ {
+				p.fn(i)
+			}
+		case p.cfn != nil:
+			for i := lo; i < hi; i++ {
+				p.cfn(p.ctx, i)
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				p.kfn(&p.args, i)
+			}
+		}
+	}
+}
+
+// run executes one parallel region. Exactly one of fn / (cfn, ctx) /
+// (kfn, args) must be provided; args is copied into pool storage so the
+// caller may pass a stack value.
+func (p *workerPool) run(n int, fn func(int), cfn func(any, int), ctx any, kfn func(*KernelArgs, int), args *KernelArgs) {
+	workers := int(maxWorkers.Load())
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 || !p.mu.TryLock() {
+		// Serial fallback: tiny regions, single-worker mode, and nested or
+		// concurrent regions (the pool is busy) all run inline.
+		switch {
+		case fn != nil:
+			for i := 0; i < n; i++ {
 				fn(i)
 			}
-		}(lo, hi)
+		case cfn != nil:
+			for i := 0; i < n; i++ {
+				cfn(ctx, i)
+			}
+		default:
+			a := kargsScratch.Get().(*KernelArgs)
+			*a = *args
+			for i := 0; i < n; i++ {
+				kfn(a, i)
+			}
+			*a = KernelArgs{}
+			kargsScratch.Put(a)
+		}
+		return
 	}
-	wg.Wait()
+	defer p.mu.Unlock()
+	bg := workers - 1
+	p.ensureWorkers(bg)
+	p.n = n
+	p.chunk = (n + workers - 1) / workers
+	p.next.Store(0)
+	p.fn, p.cfn, p.ctx, p.kfn = fn, cfn, ctx, kfn
+	if kfn != nil {
+		p.args = *args
+	}
+	p.done.Add(bg)
+	for w := 0; w < bg; w++ {
+		p.wake[w] <- struct{}{}
+	}
+	p.runChunks()
+	p.done.Wait()
+	p.fn, p.cfn, p.ctx, p.kfn = nil, nil, nil, nil
+	p.args = KernelArgs{}
+}
+
+// Parallel runs fn(i) for i in [0, n) across up to MaxWorkers goroutines
+// of the persistent worker pool. Each index is processed exactly once.
+// Small n runs inline to avoid dispatch overhead.
+//
+// The closure passed here typically heap-allocates at the call site; hot
+// paths that must stay allocation-free should use ParallelCtx or
+// ParallelKernel instead.
+func Parallel(n int, fn func(i int)) {
+	pool.run(n, fn, nil, nil, nil, nil)
+}
+
+// ParallelCtx runs fn(ctx, i) for i in [0, n) on the worker pool. When fn
+// is a top-level function and ctx is a pointer (e.g. a layer's scratch
+// struct), dispatch performs zero heap allocations: a static func value is
+// free and boxing a pointer into an interface does not allocate.
+func ParallelCtx(n int, ctx any, fn func(ctx any, i int)) {
+	pool.run(n, nil, fn, ctx, nil, nil)
+}
+
+// ParallelKernel runs fn(&args, i) for i in [0, n) on the worker pool,
+// copying args by value into pool-owned storage. It is the allocation-free
+// dispatch used by the tensor kernels themselves.
+func ParallelKernel(n int, args *KernelArgs, fn func(*KernelArgs, int)) {
+	pool.run(n, nil, nil, nil, fn, args)
 }

@@ -1,0 +1,150 @@
+package tensor
+
+import "math"
+
+// Single-image pooling and padding kernels on raw slices. The nn pooling
+// layers fan these out across the batch on the worker pool; keeping the
+// cores here (rather than inlined in the layers) gives the accelerator
+// simulator and future backends one shared, tested implementation.
+
+// MaxPool2D max-pools one [C,H,W] image described by g into dst
+// ([C,OutH,OutW]), recording the winning flat source index per output cell
+// in arg (-1 when the window saw only padding). Padded cells never win.
+func MaxPool2D(dst []float64, arg []int, src []float64, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	o := 0
+	for c := 0; c < g.InC; c++ {
+		base := c * g.InH * g.InW
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				best := math.Inf(-1)
+				bestIdx := -1
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.Stride + ky - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						idx := base + iy*g.InW + ix
+						if src[idx] > best {
+							best = src[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				dst[o] = best
+				arg[o] = bestIdx
+				o++
+			}
+		}
+	}
+}
+
+// MaxPool2DGrad scatters pooled gradients back through the argmax indices
+// recorded by MaxPool2D. dx is zeroed first.
+func MaxPool2DGrad(dx, grad []float64, arg []int) {
+	for i := range dx {
+		dx[i] = 0
+	}
+	for o, a := range arg {
+		if a >= 0 {
+			dx[a] += grad[o]
+		}
+	}
+}
+
+// AvgPool2D average-pools one [C,H,W] image into dst ([C,OutH,OutW]) with
+// count_include_pad=true semantics (the divisor is the fixed window size).
+func AvgPool2D(dst, src []float64, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	inv := 1 / float64(g.KH*g.KW)
+	o := 0
+	for c := 0; c < g.InC; c++ {
+		base := c * g.InH * g.InW
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				s := 0.0
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.Stride + ky - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						s += src[base+iy*g.InW+ix]
+					}
+				}
+				dst[o] = s * inv
+				o++
+			}
+		}
+	}
+}
+
+// AvgPool2DGrad distributes pooled gradients uniformly over each window.
+// dx is zeroed first.
+func AvgPool2DGrad(dx, grad []float64, g ConvGeom) {
+	for i := range dx {
+		dx[i] = 0
+	}
+	outH, outW := g.OutH(), g.OutW()
+	inv := 1 / float64(g.KH*g.KW)
+	o := 0
+	for c := 0; c < g.InC; c++ {
+		base := c * g.InH * g.InW
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				gv := grad[o] * inv
+				o++
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.Stride + ky - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						dx[base+iy*g.InW+ix] += gv
+					}
+				}
+			}
+		}
+	}
+}
+
+// Pad2DInto zero-pads a [C,H,W] image by pad on every spatial side into dst
+// ([C, H+2p, W+2p]).
+func Pad2DInto(dst, src []float64, c, h, w, pad int) {
+	ph, pw := h+2*pad, w+2*pad
+	for i := range dst {
+		dst[i] = 0
+	}
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			srcRow := src[(ch*h+y)*w : (ch*h+y+1)*w]
+			dstBase := (ch*ph+y+pad)*pw + pad
+			copy(dst[dstBase:dstBase+w], srcRow)
+		}
+	}
+}
+
+// Unpad2DInto crops the pad border of a [C, H+2p, W+2p] image back to
+// [C,H,W] — the adjoint of Pad2DInto.
+func Unpad2DInto(dst, src []float64, c, h, w, pad int) {
+	ph, pw := h+2*pad, w+2*pad
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			srcBase := (ch*ph+y+pad)*pw + pad
+			copy(dst[(ch*h+y)*w:(ch*h+y+1)*w], src[srcBase:srcBase+w])
+		}
+	}
+}

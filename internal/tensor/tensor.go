@@ -44,7 +44,10 @@ func Prod(dims []int) int {
 	p := 1
 	for _, d := range dims {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in %v", dims))
+			// Format only the offending int: interpolating dims itself
+			// would leak the slice and force every variadic shape at every
+			// call site onto the heap.
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
 		}
 		p *= d
 	}

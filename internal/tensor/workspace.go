@@ -1,0 +1,112 @@
+package tensor
+
+// EnsureShape returns a tensor with the given shape, reusing t's storage
+// whenever its capacity allows. A nil t allocates fresh; otherwise the data
+// slice is resliced (growing only when capacity is exceeded) and the shape
+// header is rewritten in place, so steady-state calls with a stable — or
+// shrinking, or re-growing within capacity — shape perform no allocation.
+//
+// Contents after a resize are unspecified: callers that accumulate into the
+// buffer must zero it first.
+func EnsureShape(t *Tensor, shape ...int) *Tensor {
+	need := Prod(shape)
+	// The nil branch builds the tensor inline rather than calling New: New
+	// retains its shape argument, which would make the variadic slice
+	// escape — and heap-allocate — at every EnsureShape call site.
+	if t == nil {
+		t = &Tensor{}
+	}
+	if cap(t.Data) < need {
+		t.Data = make([]float64, need)
+	} else {
+		t.Data = t.Data[:need]
+	}
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
+// ViewInto points view at data with the given shape, reusing the view's
+// shape header. It is the allocation-free counterpart of FromSlice for hot
+// paths that repeatedly re-window a larger buffer (batch slicing, reshape
+// layers). The view shares data; it owns nothing.
+func ViewInto(view *Tensor, data []float64, shape ...int) *Tensor {
+	if len(data) != Prod(shape) {
+		panic("tensor: ViewInto data length does not match shape")
+	}
+	view.Data = data
+	view.Shape = append(view.Shape[:0], shape...)
+	return view
+}
+
+// EnsureFloats grows s to length n, reusing capacity. Contents are
+// unspecified after a resize.
+func EnsureFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// EnsureInts grows s to length n, reusing capacity. Contents are
+// unspecified after a resize.
+func EnsureInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// Workspace is a keyed arena of reusable tensor buffers: the backing store
+// for plan-once/reuse-forever execution. Each key names one logical buffer
+// whose storage persists across calls; requesting a key with a new shape
+// resizes the buffer in place (see EnsureShape), so a steady-state caller
+// that cycles through the same keys with stable shapes allocates nothing.
+//
+// Keys should be static strings (or strings built once at plan time):
+// map lookups with an existing key do not allocate. A Workspace is not safe
+// for concurrent use; give each execution context its own.
+type Workspace struct {
+	bufs map[string]*Tensor
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{bufs: make(map[string]*Tensor)} }
+
+// Get returns the workspace buffer for key, (re)shaped to shape. Contents
+// are unspecified when the shape changed; otherwise the previous contents
+// are retained.
+func (w *Workspace) Get(key string, shape ...int) *Tensor {
+	if w.bufs == nil {
+		w.bufs = make(map[string]*Tensor)
+	}
+	t, ok := w.bufs[key]
+	t = EnsureShape(t, shape...)
+	if !ok {
+		w.bufs[key] = t
+	}
+	return t
+}
+
+// GetZeroed is Get with the returned buffer zero-filled, for kernels that
+// accumulate into their destination.
+func (w *Workspace) GetZeroed(key string, shape ...int) *Tensor {
+	t := w.Get(key, shape...)
+	t.Zero()
+	return t
+}
+
+// Reset drops every buffer, releasing the memory to the garbage collector.
+func (w *Workspace) Reset() {
+	for k := range w.bufs {
+		delete(w.bufs, k)
+	}
+}
+
+// Bytes reports the total bytes currently held by the workspace's buffers.
+func (w *Workspace) Bytes() int {
+	total := 0
+	for _, t := range w.bufs {
+		total += cap(t.Data) * 8
+	}
+	return total
+}

@@ -20,12 +20,21 @@ import (
 // into the convolutions and residual blocks lower onto the vector unit, so
 // both the sequential CNNs of Table I and the ResNet-18 of Fig. 3 run on
 // the device.
+//
+// An Accelerator is not safe for concurrent use: compiled ops draw their
+// activation scratch from the device's shared Workspace, which assumes one
+// inference at a time — matching the single command queue of the modelled
+// hardware.
 type Accelerator struct {
 	mmu   *MMU
 	sched *schedule.Schedule
 	bits  int
 
 	plans map[*core.Model][]planOp
+	// ws holds every compiled op's activation buffers, keyed per op at
+	// compile time; sampleView is the reused per-sample input header.
+	ws         *tensor.Workspace
+	sampleView tensor.Tensor
 }
 
 // NewAccelerator builds a trusted device simulator. dev may be nil to model
@@ -45,7 +54,11 @@ func NewAccelerator(cfg Config, dev *keys.Device, sched *schedule.Schedule) (*Ac
 	if bits < 2 || bits > 8 {
 		return nil, fmt.Errorf("tpu: datapath width %d bits out of supported range [2,8]", bits)
 	}
-	return &Accelerator{mmu: mmu, sched: sched, bits: bits, plans: make(map[*core.Model][]planOp)}, nil
+	return &Accelerator{
+		mmu: mmu, sched: sched, bits: bits,
+		plans: make(map[*core.Model][]planOp),
+		ws:    tensor.NewWorkspace(),
+	}, nil
 }
 
 // Stats returns the hardware activity counters accumulated so far.
@@ -63,7 +76,7 @@ func (a *Accelerator) Predict(m *core.Model, x *tensor.Tensor) ([]int, error) {
 	plan, ok := a.plans[m]
 	if !ok {
 		var err error
-		if plan, err = compileModel(m); err != nil {
+		if plan, err = compileModel(a, m); err != nil {
 			return nil, err
 		}
 		a.plans[m] = plan
@@ -72,7 +85,7 @@ func (a *Accelerator) Predict(m *core.Model, x *tensor.Tensor) ([]int, error) {
 	feat := x.Len() / maxInt(n, 1)
 	preds := make([]int, n)
 	for i := 0; i < n; i++ {
-		sample := tensor.FromSlice(x.Data[i*feat:(i+1)*feat], x.Shape[1:]...)
+		sample := tensor.ViewInto(&a.sampleView, x.Data[i*feat:(i+1)*feat], x.Shape[1:]...)
 		out, err := runOps(a, plan, sample)
 		if err != nil {
 			return nil, err

@@ -165,6 +165,16 @@ func (m *MMU) accountMatMul(mRows, k, p int, gateOps, locked uint64) {
 // requantization of the surviving range to int8 with the returned scale.
 // accScale is the accumulator LSB value (inputScale·weightScale).
 func ReLUQuantize(acc []int32, accScale float64) ([]int8, float64) {
+	return ReLUQuantizeInto(nil, acc, accScale)
+}
+
+// ReLUQuantizeInto is ReLUQuantize writing into dst (grown as needed and
+// returned), so compiled inference ops reuse one buffer across samples.
+func ReLUQuantizeInto(dst []int8, acc []int32, accScale float64) ([]int8, float64) {
+	if cap(dst) < len(acc) {
+		dst = make([]int8, len(acc))
+	}
+	dst = dst[:len(acc)]
 	maxV := int32(0)
 	for _, v := range acc {
 		if v > maxV {
@@ -172,18 +182,21 @@ func ReLUQuantize(acc []int32, accScale float64) ([]int8, float64) {
 		}
 	}
 	if maxV == 0 {
-		return make([]int8, len(acc)), 1
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst, 1
 	}
 	outScale := float64(maxV) * accScale / 127
-	out := make([]int8, len(acc))
 	inv := accScale / outScale
 	for i, v := range acc {
 		if v <= 0 {
+			dst[i] = 0
 			continue
 		}
-		out[i] = clampInt8(float64(v)*inv + 0.5)
+		dst[i] = clampInt8(float64(v)*inv + 0.5)
 	}
-	return out, outScale
+	return dst, outScale
 }
 
 // matMulSystolic executes the operation tile-by-tile on the register-level

@@ -21,6 +21,13 @@ import (
 //     vector-unit lock (the same XOR-negation gates, placed on the
 //     activation unit's input bus).
 //
+// Ops are stateful: each owns its activation scratch, drawn from the
+// accelerator's Workspace under a key assigned at compile time (unique
+// within a plan, so no two live ops ever share a buffer), plus cached
+// quantized weights and column assignments. After the first sample a
+// steady-state inference reuses every buffer, which is what makes the
+// per-bit-trial queries of the attack experiments cheap.
+//
 // This is what lets the full ResNet-18 of Fig. 3/Fig. 5 execute on the
 // simulated device, not just the sequential CNNs of Table I.
 
@@ -30,31 +37,39 @@ type planOp interface {
 	opName() string
 }
 
+// planCompiler assigns workspace keys while lowering; prefix keeps keys
+// from different compilations on one accelerator distinct.
+type planCompiler struct {
+	prefix string
+	n      int
+}
+
+func (c *planCompiler) key(kind string) string {
+	c.n++
+	return fmt.Sprintf("%s%s#%d", c.prefix, kind, c.n)
+}
+
 // compile lowers a network into accelerator operations.
 func compile(net *nn.Network) ([]planOp, error) {
+	return (&planCompiler{}).compile(net)
+}
+
+func (c *planCompiler) compile(net *nn.Network) ([]planOp, error) {
 	var ops []planOp
 	layers := net.Layers
 	for i := 0; i < len(layers); i++ {
 		switch l := layers[i].(type) {
-		case *nn.Conv2D:
-			op, consumed, err := fuseMAC(layers, i)
-			if err != nil {
-				return nil, err
-			}
-			ops = append(ops, op)
-			i += consumed
-			_ = l
-		case *nn.Dense:
-			op, consumed, err := fuseMAC(layers, i)
+		case *nn.Conv2D, *nn.Dense:
+			op, consumed, err := c.fuseMAC(layers, i)
 			if err != nil {
 				return nil, err
 			}
 			ops = append(ops, op)
 			i += consumed
 		case *nn.MaxPool, *nn.AvgPool, *nn.GlobalAvgPool, *nn.Flatten:
-			ops = append(ops, vectorOp{layer: layers[i]})
+			ops = append(ops, &vectorOp{layer: layers[i]})
 		case *nn.ReLU:
-			ops = append(ops, lockReluOp{relu: true})
+			ops = append(ops, &lockReluOp{relu: true, outKey: c.key("relu")})
 		case *nn.Lock:
 			relu := false
 			if i+1 < len(layers) {
@@ -63,26 +78,29 @@ func compile(net *nn.Network) ([]planOp, error) {
 					i++
 				}
 			}
-			ops = append(ops, lockReluOp{lockID: l.ID, neurons: l.Neurons(), relu: relu})
+			ops = append(ops, &lockReluOp{
+				lockID: l.ID, neurons: l.Neurons(), relu: relu,
+				outKey: c.key("lockrelu"),
+			})
 		case *nn.BatchNorm2D:
 			// Standalone BN (not behind a conv): eval-mode affine.
-			ops = append(ops, affineOp{bn: l})
+			ops = append(ops, &affineOp{bn: l})
 		case *nn.Residual:
-			body, err := compile(l.Body)
+			body, err := c.compile(l.Body)
 			if err != nil {
 				return nil, err
 			}
 			var skip []planOp
 			if l.Skip != nil {
-				if skip, err = compile(l.Skip); err != nil {
+				if skip, err = c.compile(l.Skip); err != nil {
 					return nil, err
 				}
 			}
-			post, err := compile(l.Post)
+			post, err := c.compile(l.Post)
 			if err != nil {
 				return nil, err
 			}
-			ops = append(ops, residualOp{body: body, skip: skip, post: post})
+			ops = append(ops, &residualOp{body: body, skip: skip, post: post, sumKey: c.key("ressum")})
 		default:
 			return nil, fmt.Errorf("tpu: layer %s is not supported on the accelerator datapath", layers[i].Name())
 		}
@@ -93,7 +111,7 @@ func compile(net *nn.Network) ([]planOp, error) {
 // fuseMAC fuses a Conv2D or Dense at index i with an optional following
 // BatchNorm2D, Lock and ReLU, returning the fused op and how many extra
 // layers were consumed.
-func fuseMAC(layers []nn.Layer, i int) (planOp, int, error) {
+func (c *planCompiler) fuseMAC(layers []nn.Layer, i int) (planOp, int, error) {
 	consumed := 0
 	next := func() nn.Layer {
 		if i+consumed+1 < len(layers) {
@@ -123,19 +141,21 @@ func fuseMAC(layers []nn.Layer, i int) (planOp, int, error) {
 	switch mac := layers[i].(type) {
 	case *nn.Conv2D:
 		w, b := foldBN(mac.W.Value, mac.B.Value, mac.OutC, bn)
-		return convOp{
+		return &convOp{
 			geom: mac.Geom, outC: mac.OutC,
 			w: w, b: b,
 			lockID: lockID, lockN: lockN, relu: relu,
+			colKey: c.key("conv.col"), outKey: c.key("conv.out"),
 		}, consumed, nil
 	case *nn.Dense:
 		if bn != nil {
 			return nil, 0, fmt.Errorf("tpu: BatchNorm2D after Dense is not supported")
 		}
-		return denseOp{
+		return &denseOp{
 			in: mac.In, out: mac.Out,
 			w: mac.W.Value, b: mac.B.Value,
 			lockID: lockID, lockN: lockN, relu: relu,
+			outKey: c.key("dense.out"),
 		}, consumed, nil
 	default:
 		return nil, 0, fmt.Errorf("tpu: fuseMAC on non-MAC layer %s", layers[i].Name())
@@ -174,28 +194,39 @@ type convOp struct {
 	lockID string
 	lockN  int
 	relu   bool
+
+	colKey, outKey string
+	qW             *QTensor // weights quantize once; cached on first apply
+	qIn            *QTensor
+	bias           []int32
+	cols           []int
+	q8             []int8
 }
 
-func (o convOp) opName() string { return "conv" }
+func (o *convOp) opName() string { return "conv" }
 
-func (o convOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+func (o *convOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
 	g := o.geom
 	if len(act.Shape) != 3 || act.Shape[0] != g.InC || act.Shape[1] != g.InH || act.Shape[2] != g.InW {
 		return nil, fmt.Errorf("tpu: conv input %v does not match geometry %+v", act.Shape, g)
 	}
-	col := tensor.Im2Col(act, g)
-	qIn := a.quantize(col)
-	qW := a.quantize(o.w)
-	accScale := qIn.Scale * qW.Scale
-	bias := QuantizeBias(o.b, accScale)
 	pix := g.OutH() * g.OutW()
-
-	var cols []int
-	if o.lockID != "" {
-		cols = a.sched.Assign(o.lockID, o.outC*pix)
+	col := a.ws.Get(o.colKey, g.ColRows(), pix)
+	tensor.Im2ColInto(col, act, g)
+	o.qIn = QuantizeToInto(o.qIn, col, a.bits)
+	if o.qW == nil {
+		o.qW = a.quantize(o.w)
 	}
-	acc := a.mmu.MatMulLocked(qW.Data, o.outC, g.InC*g.KH*g.KW, qIn.Data, pix, bias, cols)
-	return finishMAC(acc, accScale, o.relu, []int{o.outC, g.OutH(), g.OutW()}), nil
+	accScale := o.qIn.Scale * o.qW.Scale
+	o.bias = QuantizeBiasInto(o.bias, o.b, accScale)
+
+	if o.lockID != "" && o.cols == nil {
+		o.cols = a.sched.Assign(o.lockID, o.outC*pix)
+	}
+	acc := a.mmu.MatMulLocked(o.qW.Data, o.outC, g.InC*g.KH*g.KW, o.qIn.Data, pix, o.bias, o.cols)
+	out := a.ws.Get(o.outKey, o.outC, g.OutH(), g.OutW())
+	o.q8 = finishMACInto(out, acc, accScale, o.relu, o.q8)
+	return out, nil
 }
 
 // denseOp is a fused fully-connected (+lock) (+ReLU) on the MMU.
@@ -205,38 +236,54 @@ type denseOp struct {
 	lockID  string
 	lockN   int
 	relu    bool
+
+	outKey string
+	qW     *QTensor
+	qIn    *QTensor
+	bias   []int32
+	cols   []int
+	q8     []int8
 }
 
-func (o denseOp) opName() string { return "dense" }
+func (o *denseOp) opName() string { return "dense" }
 
-func (o denseOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+func (o *denseOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
 	if act.Len() != o.in {
 		return nil, fmt.Errorf("tpu: dense input %d does not match layer width %d", act.Len(), o.in)
 	}
-	qIn := a.quantize(act)
-	qW := a.quantize(o.w)
-	accScale := qIn.Scale * qW.Scale
-	bias := QuantizeBias(o.b, accScale)
-
-	var cols []int
-	if o.lockID != "" {
-		cols = a.sched.Assign(o.lockID, o.out)
+	o.qIn = QuantizeToInto(o.qIn, act, a.bits)
+	if o.qW == nil {
+		o.qW = a.quantize(o.w)
 	}
-	acc := a.mmu.MatMulLocked(qW.Data, o.out, o.in, qIn.Data, 1, bias, cols)
-	return finishMAC(acc, accScale, o.relu, []int{o.out}), nil
+	accScale := o.qIn.Scale * o.qW.Scale
+	o.bias = QuantizeBiasInto(o.bias, o.b, accScale)
+
+	if o.lockID != "" && o.cols == nil {
+		o.cols = a.sched.Assign(o.lockID, o.out)
+	}
+	acc := a.mmu.MatMulLocked(o.qW.Data, o.out, o.in, o.qIn.Data, 1, o.bias, o.cols)
+	out := a.ws.Get(o.outKey, o.out)
+	o.q8 = finishMACInto(out, acc, accScale, o.relu, o.q8)
+	return out, nil
 }
 
-// vectorOp runs a stateless pooling/reshape layer on the vector unit.
+// vectorOp runs a stateless pooling/reshape layer on the vector unit. The
+// batched/unbatched tensor headers are cached views over existing data, and
+// the nn layer underneath owns its own reusable scratch.
 type vectorOp struct {
-	layer nn.Layer
+	layer              nn.Layer
+	shape              []int
+	batched, unbatched tensor.Tensor
 }
 
-func (o vectorOp) opName() string { return "vector:" + o.layer.Name() }
+func (o *vectorOp) opName() string { return "vector:" + o.layer.Name() }
 
-func (o vectorOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
-	batched := act.Reshape(append([]int{1}, act.Shape...)...)
+func (o *vectorOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	o.shape = append(o.shape[:0], 1)
+	o.shape = append(o.shape, act.Shape...)
+	batched := tensor.ViewInto(&o.batched, act.Data, o.shape...)
 	out := o.layer.Forward(batched, false)
-	return out.Reshape(out.Shape[1:]...), nil
+	return tensor.ViewInto(&o.unbatched, out.Data, out.Shape[1:]...), nil
 }
 
 // lockReluOp applies a standalone lock (XOR-negation on the vector unit's
@@ -245,19 +292,25 @@ type lockReluOp struct {
 	lockID  string
 	neurons int
 	relu    bool
+
+	outKey string
+	cols   []int
 }
 
-func (o lockReluOp) opName() string { return "lockrelu" }
+func (o *lockReluOp) opName() string { return "lockrelu" }
 
-func (o lockReluOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
-	out := act.Clone()
+func (o *lockReluOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	out := a.ws.Get(o.outKey, act.Shape...)
+	copy(out.Data, act.Data)
 	if o.lockID != "" {
 		if act.Len() != o.neurons {
 			return nil, fmt.Errorf("tpu: lock %s sized %d applied to %d activations", o.lockID, o.neurons, act.Len())
 		}
-		cols := a.sched.Assign(o.lockID, o.neurons)
+		if o.cols == nil {
+			o.cols = a.sched.Assign(o.lockID, o.neurons)
+		}
 		for j := range out.Data {
-			if a.mmu.columnBit(cols[j]) == 1 {
+			if a.mmu.columnBit(o.cols[j]) == 1 {
 				out.Data[j] = -out.Data[j]
 			}
 		}
@@ -275,26 +328,31 @@ func (o lockReluOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, e
 // affineOp is a standalone eval-mode batch-norm (rare: only when a BN is
 // not preceded by a conv).
 type affineOp struct {
-	bn *nn.BatchNorm2D
+	bn                 *nn.BatchNorm2D
+	shape              []int
+	batched, unbatched tensor.Tensor
 }
 
-func (o affineOp) opName() string { return "affine" }
+func (o *affineOp) opName() string { return "affine" }
 
-func (o affineOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
-	batched := act.Reshape(append([]int{1}, act.Shape...)...)
+func (o *affineOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	o.shape = append(o.shape[:0], 1)
+	o.shape = append(o.shape, act.Shape...)
+	batched := tensor.ViewInto(&o.batched, act.Data, o.shape...)
 	out := o.bn.Forward(batched, false)
-	return out.Reshape(out.Shape[1:]...), nil
+	return tensor.ViewInto(&o.unbatched, out.Data, out.Shape[1:]...), nil
 }
 
 // residualOp executes a compiled residual block: body and skip paths, an
 // elementwise join on the vector unit, then the post ops.
 type residualOp struct {
 	body, skip, post []planOp
+	sumKey           string
 }
 
-func (o residualOp) opName() string { return "residual" }
+func (o *residualOp) opName() string { return "residual" }
 
-func (o residualOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+func (o *residualOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
 	body, err := runOps(a, o.body, act)
 	if err != nil {
 		return nil, err
@@ -308,7 +366,7 @@ func (o residualOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, e
 	if body.Len() != skip.Len() {
 		return nil, fmt.Errorf("tpu: residual join mismatch %v vs %v", body.Shape, skip.Shape)
 	}
-	sum := tensor.New(body.Shape...)
+	sum := a.ws.Get(o.sumKey, body.Shape...)
 	for i := range sum.Data {
 		sum.Data[i] = body.Data[i] + skip.Data[i]
 	}
@@ -325,25 +383,27 @@ func runOps(a *Accelerator, ops []planOp, act *tensor.Tensor) (*tensor.Tensor, e
 	return act, nil
 }
 
-// finishMAC applies the activation unit (ReLU + requantize) or plain
-// dequantization for outputs that feed the vector unit or the logits.
-func finishMAC(acc []int32, accScale float64, relu bool, shape []int) *tensor.Tensor {
-	out := tensor.New(shape...)
+// finishMACInto applies the activation unit (ReLU + requantize) or plain
+// dequantization into out, reusing q8 as the requantization buffer; the
+// possibly regrown buffer is returned for the op to keep.
+func finishMACInto(out *tensor.Tensor, acc []int32, accScale float64, relu bool, q8 []int8) []int8 {
 	if relu {
-		q, scale := ReLUQuantize(acc, accScale)
+		q, scale := ReLUQuantizeInto(q8, acc, accScale)
 		for i, v := range q {
 			out.Data[i] = float64(v) * scale
 		}
-		return out
+		return q
 	}
 	for i, v := range acc {
 		out.Data[i] = float64(v) * accScale
 	}
-	return out
+	return q8
 }
 
-// compileModel caches compilation per model (weights are referenced, not
-// copied, so recompilation is only needed if the architecture changes).
-func compileModel(m *core.Model) ([]planOp, error) {
-	return compile(m.Net)
+// compileModel lowers m for execution on a. Workspace keys get a prefix
+// unique to this compilation, so plans for different models on the same
+// device never alias buffers.
+func compileModel(a *Accelerator, m *core.Model) ([]planOp, error) {
+	c := &planCompiler{prefix: fmt.Sprintf("m%d/", len(a.plans))}
+	return c.compile(m.Net)
 }

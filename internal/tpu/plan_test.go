@@ -120,11 +120,11 @@ func TestCompilePlanStructure(t *testing.T) {
 	var convs, denses, vectors int
 	for _, op := range plan {
 		switch op.(type) {
-		case convOp:
+		case *convOp:
 			convs++
-		case denseOp:
+		case *denseOp:
 			denses++
-		case vectorOp:
+		case *vectorOp:
 			vectors++
 		}
 	}
@@ -141,7 +141,7 @@ func TestCompilePlanStructure(t *testing.T) {
 	}
 	residuals := 0
 	for _, op := range plan {
-		if _, ok := op.(residualOp); ok {
+		if _, ok := op.(*residualOp); ok {
 			residuals++
 		}
 	}
@@ -160,7 +160,7 @@ func TestPostJoinLockSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	op := lockReluOp{lockID: "post", neurons: 6, relu: false}
+	op := &lockReluOp{lockID: "post", neurons: 6, relu: false}
 	x := tensor.FromSlice([]float64{1, -2, 3, -4, 5, -6}, 6)
 	out, err := op.apply(a, x)
 	if err != nil {

@@ -41,6 +41,13 @@ func Quantize(t *tensor.Tensor) *QTensor { return QuantizeTo(t, 8) }
 // widths model cheaper edge accelerators and drive the quantization
 // ablation.
 func QuantizeTo(t *tensor.Tensor, bits int) *QTensor {
+	return QuantizeToInto(nil, t, bits)
+}
+
+// QuantizeToInto is QuantizeTo reusing q's storage (nil allocates a fresh
+// QTensor). Activation quantization runs once per op per sample, so buffer
+// reuse here keeps steady-state inference allocation-free.
+func QuantizeToInto(q *QTensor, t *tensor.Tensor, bits int) *QTensor {
 	if bits < 2 || bits > 8 {
 		panic(fmt.Sprintf("tpu: quantization width %d out of [2,8]", bits))
 	}
@@ -50,11 +57,15 @@ func QuantizeTo(t *tensor.Tensor, bits int) *QTensor {
 	if maxAbs > 0 {
 		scale = maxAbs / qmax
 	}
-	q := &QTensor{
-		Shape: append([]int(nil), t.Shape...),
-		Data:  make([]int8, t.Len()),
-		Scale: scale,
+	if q == nil {
+		q = &QTensor{}
 	}
+	q.Shape = append(q.Shape[:0], t.Shape...)
+	if cap(q.Data) < t.Len() {
+		q.Data = make([]int8, t.Len())
+	}
+	q.Data = q.Data[:t.Len()]
+	q.Scale = scale
 	inv := 1 / scale
 	for i, v := range t.Data {
 		r := math.Round(v * inv)
@@ -95,7 +106,17 @@ func (q *QTensor) Len() int { return len(q.Data) }
 // scale (inputScale · weightScale), the standard integer-only inference
 // convention.
 func QuantizeBias(b *tensor.Tensor, accScale float64) []int32 {
-	out := make([]int32, b.Len())
+	return QuantizeBiasInto(nil, b, accScale)
+}
+
+// QuantizeBiasInto is QuantizeBias writing into dst (grown as needed). The
+// bias requantizes every sample — its scale tracks the input scale — so the
+// compiled ops keep one buffer alive instead of allocating per inference.
+func QuantizeBiasInto(dst []int32, b *tensor.Tensor, accScale float64) []int32 {
+	if cap(dst) < b.Len() {
+		dst = make([]int32, b.Len())
+	}
+	out := dst[:b.Len()]
 	inv := 1 / accScale
 	for i, v := range b.Data {
 		r := math.Round(v * inv)

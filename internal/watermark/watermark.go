@@ -167,9 +167,12 @@ func (w *Mark) Detected(m *core.Model) (bool, float64, error) {
 // the usual softmax cross-entropy loop with the projection regularizer
 // added to the carrier tensor's gradient each step.
 func TrainEmbedded(m *core.Model, w *Mark, trainX *tensor.Tensor, trainY []int, testX *tensor.Tensor, testY []int, cfg core.TrainConfig) core.TrainResult {
-	carrier := m.Net.Params()[w.cfg.ParamIndex]
+	params := m.Net.Params()
+	carrier := params[w.cfg.ParamIndex]
 	loss := nn.SoftmaxCrossEntropy{}
 	opt := nn.NewMomentumSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	// Loss-gradient buffer reused across steps, mirroring core.Train.
+	var gradBuf *tensor.Tensor
 	var res core.TrainResult
 	epochs := cfg.Epochs
 	if epochs == 0 {
@@ -184,11 +187,12 @@ func TrainEmbedded(m *core.Model, w *Mark, trainX *tensor.Tensor, trainY []int, 
 		epochLoss := 0.0
 		for _, b := range batches {
 			out := m.Net.Forward(b.X, true)
-			l, g := loss.Loss(out, b.Y)
+			l, g := loss.LossInto(gradBuf, out, b.Y)
+			gradBuf = g
 			m.Net.Backward(g)
 			wmLoss := w.regularize(carrier)
-			nn.ClipGradNorm(m.Net.Params(), 5)
-			opt.Step(m.Net.Params())
+			nn.ClipGradNorm(params, 5)
+			opt.Step(params)
 			epochLoss += (l + w.cfg.Strength*wmLoss) * float64(len(b.Y))
 		}
 		res.EpochLoss = append(res.EpochLoss, epochLoss/float64(len(trainY)))

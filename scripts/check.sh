@@ -1,0 +1,10 @@
+#!/bin/sh
+# Fast correctness gate for the hot compute path: static analysis plus the
+# tensor/nn suites under the race detector. The worker pool and the
+# buffer-reusing layers are the only concurrent code in the repo, so this
+# catches dispatch races without paying for the full (slow) suite.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./internal/tensor/... ./internal/nn/...
