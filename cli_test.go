@@ -1,6 +1,8 @@
 package hpnn_test
 
 import (
+	"bytes"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -8,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"hpnn"
 )
 
 // TestCLIWorkflow builds the command-line tools and drives the full
@@ -100,6 +104,122 @@ func TestCLIWorkflow(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(sheets, "fashion.png")); err != nil {
 		t.Fatal("contact sheet not written")
+	}
+}
+
+// TestCLIServe drives the network inference service end to end: train a
+// tiny model, start hpnn-serve on a TCP port, classify samples through the
+// public wire codec (valid, malformed and mis-shaped requests), then shut
+// the server down with SIGTERM and check the drain report.
+func TestCLIServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"hpnn-train", "hpnn-serve"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	model := filepath.Join(dir, "model.hpnn")
+	keyFile := filepath.Join(dir, "key.hex")
+	if out, err := exec.Command(bin("hpnn-train"),
+		"-dataset", "fashion", "-train-n", "100", "-test-n", "30",
+		"-epochs", "1", "-out", model, "-key-out", keyFile).CombinedOutput(); err != nil {
+		t.Fatalf("hpnn-train: %v\n%s", err, out)
+	}
+
+	const addr = "127.0.0.1:18741"
+	var output bytes.Buffer
+	srv := exec.Command(bin("hpnn-serve"),
+		"-model", model, "-key-file", keyFile, "-addr", addr, "-shards", "2")
+	srv.Stdout, srv.Stderr = &output, &output
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	var conn net.Conn
+	var err error
+	for i := 0; i < 100; i++ {
+		if conn, err = net.Dial("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("serve did not come up: %v\n%s", err, output.Bytes())
+	}
+	defer conn.Close()
+
+	// Classify a batch of samples over one connection; responses come back
+	// in order, one class in [0, 10) per request.
+	ds, err := hpnn.GenerateDataset(hpnn.DatasetConfig{
+		Name: "fashion", TrainN: 1, TestN: 8, H: 16, W: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := 16 * 16
+	for i := 0; i < 8; i++ {
+		x := hpnn.Tensor{Shape: []int{1, 16, 16}, Data: ds.TestX.Data[i*feat : (i+1)*feat]}
+		if err := hpnn.EncodeServeRequest(conn, &x); err != nil {
+			t.Fatal(err)
+		}
+		class, err := hpnn.DecodeServeResponse(conn)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if class < 0 || class >= 10 {
+			t.Fatalf("sample %d: class %d out of range", i, class)
+		}
+	}
+
+	// A mis-shaped request fails in-band; the connection stays usable.
+	if err := hpnn.EncodeServeRequest(conn, hpnn.NewTensor(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hpnn.DecodeServeResponse(conn); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("mis-shaped request answered with %v, want remote shape error", err)
+	}
+	x := hpnn.Tensor{Shape: []int{1, 16, 16}, Data: ds.TestX.Data[:feat]}
+	if err := hpnn.EncodeServeRequest(conn, &x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hpnn.DecodeServeResponse(conn); err != nil {
+		t.Fatalf("connection unusable after in-band error: %v", err)
+	}
+
+	// A malformed frame terminates the connection server-side.
+	bad, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	bad.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := bad.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered a frame beyond the size limit")
+	}
+	bad.Close()
+
+	// Graceful shutdown: SIGTERM → drain → stats report.
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve did not exit on SIGINT\n%s", output.Bytes())
+	}
+	got := output.String()
+	if !strings.Contains(got, "trusted device") || !strings.Contains(got, "served") ||
+		!strings.Contains(got, "latency p50") || !strings.Contains(got, "locked outputs") {
+		t.Fatalf("shutdown report unexpected:\n%s", got)
 	}
 }
 

@@ -1,0 +1,137 @@
+// hpnn-serve runs a published HPNN model as a network inference service on
+// the simulated trusted hardware: a TCP listener feeding the concurrent
+// micro-batching server, which coalesces client requests and executes them
+// on per-shard locked accelerators.
+//
+// The protocol is length-prefixed binary frames (see internal/serve/wire.go);
+// clients encode samples with hpnn.EncodeServeRequest and read answers with
+// hpnn.DecodeServeResponse, one response per request, in order, per
+// connection. On SIGINT/SIGTERM the server drains accepted requests and
+// prints throughput and latency percentiles.
+//
+// Example:
+//
+//	hpnn-serve -model model.hpnn -key-file key.hex -addr 127.0.0.1:7077
+//	hpnn-serve -model model.hpnn -shards 4 -max-batch 16 -max-wait 500us
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"hpnn"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		modelPath = flag.String("model", "model.hpnn", "published model file")
+		keyHex    = flag.String("key", "", "HPNN key as hex (empty = commodity hardware, no key)")
+		keyFile   = flag.String("key-file", "", "read the key hex from this file")
+		schedSd   = flag.Uint64("sched-seed", 77, "private hardware-schedule seed")
+		addr      = flag.String("addr", "127.0.0.1:7077", "TCP listen address")
+		shards    = flag.Int("shards", 0, "worker shards, each with a private accelerator (0 = auto)")
+		maxBatch  = flag.Int("max-batch", 0, "largest coalesced batch (0 = default 8)")
+		maxWait   = flag.Duration("max-wait", 0, "batcher window after the first request (0 = default 200µs)")
+		queue     = flag.Int("queue", 0, "bounded request-queue depth (0 = auto)")
+		bits      = flag.Int("bits", 0, "datapath quantization width 2-8 (0 = native 8)")
+	)
+	flag.Parse()
+
+	m, err := hpnn.LoadModelFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hexStr := *keyHex
+	if *keyFile != "" {
+		raw, err := os.ReadFile(*keyFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hexStr = strings.TrimSpace(string(raw))
+	}
+	var dev *hpnn.Device
+	scenario := "commodity accelerator (no key)"
+	if hexStr != "" {
+		key, err := hpnn.KeyFromHex(hexStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev = hpnn.NewTrustedDevice("serve-device", key)
+		scenario = "trusted device (key on-chip)"
+	}
+
+	acfg := hpnn.DefaultAcceleratorConfig()
+	acfg.Bits = *bits
+	srv, err := hpnn.NewInferenceServer(m, acfg, dev, hpnn.NewSchedule(*schedSd), hpnn.ServeConfig{
+		Shards: *shards, MaxBatch: *maxBatch, MaxWait: *maxWait, QueueDepth: *queue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s [%dx%dx%d] on %s — %s\n",
+		*modelPath, m.Config.InC, m.Config.InH, m.Config.InW, ln.Addr(), scenario)
+
+	var conns sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed on shutdown
+			}
+			conns.Add(1)
+			go func() {
+				defer conns.Done()
+				handle(conn, srv)
+			}()
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down: draining accepted requests")
+	start := time.Now()
+	ln.Close()
+	st := srv.Close()
+	hw := srv.HardwareStats()
+	fmt.Println(st.String())
+	fmt.Printf("hardware: %d MACs, %d cycles, %d locked outputs across shards (%d workspace bytes)\n",
+		hw.MACs, hw.Cycles, hw.LockedOutputs, srv.WorkspaceBytes())
+	fmt.Printf("drained in %v\n", time.Since(start).Round(time.Millisecond))
+	// Connections blocked reading the next request die with the process;
+	// every accepted request has already been answered by Close's drain.
+}
+
+// handle serves one connection: a loop of request frame → prediction →
+// response frame. Per-request failures (bad shape, overload, shutdown) are
+// reported in-band so the client can react; malformed frames or a closed
+// peer terminate the connection.
+func handle(conn net.Conn, srv *hpnn.InferenceServer) {
+	defer conn.Close()
+	ctx := context.Background()
+	for {
+		x, err := hpnn.DecodeServeRequest(conn)
+		if err != nil {
+			return
+		}
+		class, err := srv.Predict(ctx, x)
+		if err := hpnn.EncodeServeResponse(conn, class, err); err != nil {
+			return
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"hpnn/internal/modelio"
 	"hpnn/internal/rng"
 	"hpnn/internal/schedule"
+	"hpnn/internal/serve"
 	"hpnn/internal/tensor"
 	"hpnn/internal/tpu"
 )
@@ -76,6 +77,15 @@ type (
 	FineTuneConfig = attack.FineTuneConfig
 	// AttackResult is the outcome of a fine-tuning attack.
 	AttackResult = attack.Result
+
+	// InferenceServer is the concurrent batched serving layer over the
+	// locked TPU path: a micro-batcher feeding per-shard accelerators.
+	InferenceServer = serve.Server
+	// ServeConfig tunes the batching service (shards, batch size, window,
+	// queue depth); the zero value selects defaults.
+	ServeConfig = serve.Config
+	// ServeStats is a snapshot of serving counters and latency percentiles.
+	ServeStats = serve.Stats
 )
 
 // Architectures of the paper's evaluation.
@@ -99,6 +109,9 @@ const KeyBits = keys.KeyBits
 // NewModel builds a model with freshly initialized weights and engaged
 // (all-zero) locks.
 func NewModel(cfg Config) (*Model, error) { return core.NewModel(cfg) }
+
+// NewTensor allocates a zero-filled tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
 
 // GenerateKey draws a random HPNN key from a deterministic seed.
 func GenerateKey(seed uint64) Key { return keys.Generate(rng.New(seed)) }
@@ -156,6 +169,40 @@ func DefaultAcceleratorConfig() AcceleratorConfig { return tpu.DefaultConfig() }
 // HardwareOverhead reports the gate/area/cycle cost of the HPNN hardware
 // modification for an MMU geometry (§III-D3).
 func HardwareOverhead(cfg AcceleratorConfig) GateReport { return tpu.Gates(cfg) }
+
+// Serving-layer errors: ErrServerOverloaded when the bounded request queue
+// sheds load, ErrServerClosed after shutdown has begun.
+var (
+	ErrServerOverloaded = serve.ErrOverloaded
+	ErrServerClosed     = serve.ErrClosed
+)
+
+// NewInferenceServer starts a batched serving instance for one model:
+// each shard owns a private compiled accelerator bound to the same sealed
+// key device and schedule, warmed and sealed so steady-state requests
+// allocate nothing. dev may be nil to serve on commodity hardware (the
+// paper's attacker scenario). Stop with Close, which drains accepted
+// requests and returns final statistics.
+func NewInferenceServer(m *Model, acfg AcceleratorConfig, dev *Device, sched *Schedule, cfg ServeConfig) (*InferenceServer, error) {
+	return serve.New(m, acfg, dev, sched, cfg)
+}
+
+// Wire codec of the hpnn-serve TCP protocol (little-endian length-prefixed
+// frames), re-exported so clients can be written against the public API.
+func EncodeServeRequest(w io.Writer, x *Tensor) error { return serve.EncodeRequest(w, x) }
+
+// DecodeServeRequest reads one request frame; it validates shape, size and
+// value finiteness and never panics on malformed input.
+func DecodeServeRequest(r io.Reader) (*Tensor, error) { return serve.DecodeRequest(r) }
+
+// EncodeServeResponse writes one response frame: a class or an error.
+func EncodeServeResponse(w io.Writer, class int, err error) error {
+	return serve.EncodeResponse(w, class, err)
+}
+
+// DecodeServeResponse reads one response frame, returning the predicted
+// class or the server-reported error.
+func DecodeServeResponse(r io.Reader) (int, error) { return serve.DecodeResponse(r) }
 
 // SaveModel serializes a model (weights only — never key material) to w.
 func SaveModel(w io.Writer, m *Model) error { return modelio.Save(w, m) }

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hpnn/internal/core"
+)
+
+// TestServeSteadyStateAllocs pins the per-request allocation count of a
+// warmed shard. The execution engine is zero-allocation per sample (the
+// sealed workspace panics otherwise) and the serving layer recycles
+// requests and batch slices through pools, so a warmed server must answer
+// sequential requests without allocating. The small slack absorbs pool
+// refills after an unlucky GC, not a regression: if this number creeps up,
+// a buffer stopped being reused somewhere on the request path.
+func TestServeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented runtime allocates on channel operations")
+	}
+	f := newFixture(t, core.CNN1, 16, 2, 180)
+	s := f.server(t, Config{Shards: 1, MaxBatch: 1, MaxWait: 50 * time.Microsecond, QueueDepth: 16})
+	defer s.Close()
+
+	ctx := context.Background()
+	x := f.sample(0)
+	// Warm the request/batch pools past any first-use growth.
+	for i := 0; i < 32; i++ {
+		if _, err := s.Predict(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := s.Predict(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// AllocsPerRun counts process-wide mallocs, so the batcher and worker
+	// goroutines are included — exactly what this regression test wants.
+	const maxAllocs = 1.0
+	if avg > maxAllocs {
+		t.Fatalf("steady-state Predict averaged %.2f allocs/request, want <= %.1f", avg, maxAllocs)
+	}
+}
+
+// TestServeWarmupSealsShards confirms every shard's workspace is sealed
+// after New: the zero-allocation contract is enforced by the arena itself,
+// not just measured above.
+func TestServeWarmupSealsShards(t *testing.T) {
+	f := newFixture(t, core.MLP, 8, 1, 190)
+	s := f.server(t, Config{Shards: 3})
+	defer s.Close()
+	for i, sh := range s.shards {
+		if !sh.acc.WorkspaceSealed() {
+			t.Fatalf("shard %d workspace not sealed after warmup", i)
+		}
+	}
+}

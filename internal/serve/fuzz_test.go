@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"hpnn/internal/tensor"
+)
+
+// frameFor encodes x as a request frame for the seed corpus.
+func frameFor(f *testing.F, x *tensor.Tensor) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := EncodeRequest(&buf, x); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeRequest hardens the wire decoder against malformed input:
+// DecodeRequest must return an error or a valid tensor — never panic,
+// hang, or allocate beyond the frame cap — for arbitrary bytes off the
+// network. The seed corpus is a valid frame plus targeted mutations of
+// every validated field (length prefix, version, rank, dimensions,
+// payload size, value encoding).
+func FuzzDecodeRequest(f *testing.F) {
+	x := tensor.New(1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(i)/8 - 1
+	}
+	valid := frameFor(f, x)
+	f.Add(valid)
+	f.Add(frameFor(f, tensor.New(3)))
+	f.Add([]byte{})
+	f.Add(valid[:3])            // truncated length prefix
+	f.Add(valid[:len(valid)/2]) // truncated payload
+
+	// Length prefix larger than the payload that follows.
+	lie := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(lie[:4], uint32(len(valid)))
+	f.Add(lie)
+	// Length prefix beyond MaxFrameBytes: must be rejected pre-allocation.
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(huge[:4], MaxFrameBytes+1)
+	f.Add(huge)
+
+	// Wrong version byte (payload starts after the 4-byte prefix).
+	badVer := append([]byte(nil), valid...)
+	badVer[4] = 0xFF
+	f.Add(badVer)
+	// Rank 0 and rank beyond maxRank.
+	badRank := append([]byte(nil), valid...)
+	badRank[5] = 0
+	f.Add(badRank)
+	badRank2 := append([]byte(nil), valid...)
+	badRank2[5] = 200
+	f.Add(badRank2)
+	// Zero dimension and overflow-bait dimensions.
+	zeroDim := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(zeroDim[6:], 0)
+	f.Add(zeroDim)
+	hugeDim := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(hugeDim[6:], math.MaxUint32)
+	f.Add(hugeDim)
+	// Non-finite value in an otherwise valid frame.
+	nanVal := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(nanVal[len(nanVal)-8:], math.Float64bits(math.NaN()))
+	f.Add(nanVal)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := DecodeRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if x == nil {
+			t.Fatal("DecodeRequest returned nil tensor without error")
+		}
+		if len(x.Shape) < 1 || len(x.Shape) > maxRank {
+			t.Fatalf("accepted tensor with rank %d", len(x.Shape))
+		}
+		if x.Len() > MaxFrameBytes/8 {
+			t.Fatalf("accepted tensor of %d elements beyond the frame cap", x.Len())
+		}
+		for i, v := range x.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite value %v at element %d", v, i)
+			}
+		}
+		// A decoded request must survive re-encoding: the accepted subset of
+		// the protocol round-trips.
+		var buf bytes.Buffer
+		if err := EncodeRequest(&buf, x); err != nil {
+			t.Fatalf("accepted request failed to re-encode: %v", err)
+		}
+	})
+}

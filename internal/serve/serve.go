@@ -1,0 +1,519 @@
+// Package serve is the deployment layer of the reproduction: a concurrent
+// batched inference service over the hardware-locked TPU path. The paper's
+// trusted accelerator serves authorized end-users; this package makes that
+// story operational — many clients issue Predict calls, a deadline-based
+// micro-batcher coalesces them, and N worker shards execute them on the
+// simulated locked hardware.
+//
+// Topology and ownership:
+//
+//   - One batcher goroutine drains a bounded request queue, coalescing up
+//     to MaxBatch requests or waiting at most MaxWait after the first —
+//     whichever comes first — before handing the batch to the shards.
+//   - Each of the Shards worker goroutines owns a complete Accelerator:
+//     its own compiled plan, activation workspace, quantization caches and
+//     MMU counters. Nothing mutable is shared between shards (the model's
+//     weights are read-only at inference), so the per-shard zero-allocation
+//     invariant of the execution engine holds under full concurrency, and
+//     each shard's workspace is sealed after warmup to enforce it.
+//   - Results return over a per-request buffered channel; callers select
+//     on it against their context, so cancellation never blocks a shard.
+//
+// Backpressure is a bounded queue: when it is full, Predict fails fast
+// with ErrOverloaded rather than queueing unbounded work. Close drains
+// every accepted request through the shards before returning.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/schedule"
+	"hpnn/internal/tensor"
+	"hpnn/internal/tpu"
+)
+
+// ErrOverloaded is returned by Predict when the bounded request queue is
+// full. Clients should back off and retry; the server sheds load instead of
+// queueing unbounded work.
+var ErrOverloaded = errors.New("serve: server overloaded, request queue full")
+
+// ErrClosed is returned by Predict after Close has begun.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config tunes the batching service. The zero value selects sensible
+// defaults for every field.
+type Config struct {
+	// Shards is the number of worker shards, each owning a private
+	// compiled accelerator. Default: GOMAXPROCS, capped at 8.
+	Shards int
+	// MaxBatch is the largest number of requests coalesced into one
+	// dispatch. Default 8.
+	MaxBatch int
+	// MaxWait bounds how long the batcher holds an underfull batch after
+	// its first request arrives. Default 200µs.
+	MaxWait time.Duration
+	// QueueDepth bounds the pending-request queue; a full queue makes
+	// Predict fail with ErrOverloaded. Default 4·MaxBatch·Shards.
+	QueueDepth int
+
+	// testBatchHook, when set, runs on the worker goroutine before each
+	// dispatched batch. Tests use it to stall the pipeline deterministically
+	// (e.g. to force overload); never set in production.
+	testBatchHook func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 200 * time.Microsecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch * c.Shards
+	}
+	return c
+}
+
+// response is the terminal state of one request.
+type response struct {
+	class int
+	err   error
+}
+
+// request is one in-flight Predict call. The done channel is buffered so a
+// shard can always complete a request without blocking, even when the
+// caller has already abandoned it via context cancellation.
+type request struct {
+	ctx   context.Context
+	data  []float64 // the sample's backing values, valid until completion
+	start time.Time
+	done  chan response
+}
+
+// shard is one worker's private execution state: a full accelerator (plan,
+// workspace, quantization caches) plus a reusable sample-view header.
+type shard struct {
+	acc  *tpu.Accelerator
+	view tensor.Tensor
+}
+
+// Server is a concurrent batched inference service over the locked TPU
+// path. Create with New, submit with Predict / PredictBatch, stop with
+// Close. All methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	model *core.Model
+	c     int // expected sample shape
+	h, w  int
+	feat  int
+
+	mu     sync.RWMutex // guards closed against concurrent sends on in
+	closed bool
+
+	in      chan *request
+	batches chan []*request
+	wg      sync.WaitGroup
+
+	shards []*shard
+
+	reqPool   sync.Pool
+	batchPool sync.Pool
+
+	stats statsRec
+}
+
+// New builds a serving instance for one model on simulated locked hardware.
+// Each shard gets its own accelerator bound to the same sealed key device
+// and private schedule; plans compile eagerly and each shard runs (and then
+// seals) a warmup inference so steady-state requests allocate nothing.
+// dev may be nil to serve on commodity hardware without the HPNN key — the
+// paper's attacker scenario, useful for differential experiments.
+func New(m *core.Model, acfg tpu.Config, dev *keys.Device, sched *schedule.Schedule, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		model: m,
+		c:     m.Config.InC, h: m.Config.InH, w: m.Config.InW,
+		feat:    m.Config.InC * m.Config.InH * m.Config.InW,
+		in:      make(chan *request, cfg.QueueDepth),
+		batches: make(chan []*request, cfg.Shards),
+	}
+	s.reqPool.New = func() any { return &request{done: make(chan response, 1)} }
+	s.batchPool.New = func() any {
+		b := make([]*request, 0, cfg.MaxBatch)
+		return &b
+	}
+	warm := tensor.New(s.c, s.h, s.w)
+	for i := 0; i < cfg.Shards; i++ {
+		acc, err := tpu.NewAccelerator(acfg, dev, sched)
+		if err != nil {
+			return nil, err
+		}
+		if err := acc.Compile(m); err != nil {
+			return nil, err
+		}
+		if _, err := acc.PredictSample(m, warm); err != nil {
+			return nil, fmt.Errorf("serve: shard %d warmup: %w", i, err)
+		}
+		acc.Seal()
+		acc.ResetStats() // warmup activity is not served traffic
+		s.shards = append(s.shards, &shard{acc: acc})
+	}
+	s.wg.Add(1)
+	go s.batchLoop()
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go s.workerLoop(sh)
+	}
+	return s, nil
+}
+
+// checkSample validates a single sample's shape against the model.
+func (s *Server) checkSample(x *tensor.Tensor) error {
+	if len(x.Shape) != 3 || x.Shape[0] != s.c || x.Shape[1] != s.h || x.Shape[2] != s.w {
+		return fmt.Errorf("serve: sample shape %v, want [%d %d %d]", x.Shape, s.c, s.h, s.w)
+	}
+	return nil
+}
+
+// enqueue hands a request to the batcher, failing fast when the server is
+// closed or the bounded queue is full. The read-lock pairs with Close's
+// write-lock so a send never races the channel close.
+func (s *Server) enqueue(req *request) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.in <- req:
+		return nil
+	default:
+		s.stats.overloaded.Add(1)
+		return ErrOverloaded
+	}
+}
+
+func (s *Server) getReq(ctx context.Context, data []float64) *request {
+	req := s.reqPool.Get().(*request)
+	req.ctx = ctx
+	req.data = data
+	req.start = time.Now()
+	return req
+}
+
+// putReq recycles a request whose response has been consumed (or that was
+// never enqueued). Abandoned in-flight requests must NOT be recycled: the
+// shard's eventual completion lands in the buffered channel, and reuse
+// would deliver that stale response to an unrelated caller.
+func (s *Server) putReq(req *request) {
+	req.ctx, req.data = nil, nil
+	s.reqPool.Put(req)
+}
+
+// Predict classifies one sample x ([C, H, W], matching the model's input)
+// on the locked hardware, blocking until a shard completes it, the context
+// is done, or the server sheds it. x.Data must stay untouched until Predict
+// returns. The error is ErrOverloaded when the queue is full, ErrClosed
+// after Close, or the context's error on cancellation.
+func (s *Server) Predict(ctx context.Context, x *tensor.Tensor) (int, error) {
+	if err := s.checkSample(x); err != nil {
+		return -1, err
+	}
+	req := s.getReq(ctx, x.Data)
+	if err := s.enqueue(req); err != nil {
+		s.putReq(req)
+		return -1, err
+	}
+	select {
+	case r := <-req.done:
+		s.putReq(req)
+		if r.err != nil {
+			return -1, r.err
+		}
+		return r.class, nil
+	case <-ctx.Done():
+		// In flight: the shard completes into the buffered channel and the
+		// request object is left to the garbage collector.
+		return -1, ctx.Err()
+	}
+}
+
+// PredictBatch classifies a batch x ([N, C, H, W]) by submitting every
+// sample through the micro-batcher and gathering the results in order. On
+// any per-sample failure (overload, cancellation) the first error is
+// returned; samples already enqueued still drain through the shards.
+func (s *Server) PredictBatch(ctx context.Context, x *tensor.Tensor) ([]int, error) {
+	if len(x.Shape) != 4 || x.Shape[1] != s.c || x.Shape[2] != s.h || x.Shape[3] != s.w {
+		return nil, fmt.Errorf("serve: batch shape %v, want [N %d %d %d]", x.Shape, s.c, s.h, s.w)
+	}
+	n := x.Shape[0]
+	reqs := make([]*request, 0, n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		req := s.getReq(ctx, x.Data[i*s.feat:(i+1)*s.feat])
+		if err := s.enqueue(req); err != nil {
+			s.putReq(req)
+			firstErr = err
+			break
+		}
+		reqs = append(reqs, req)
+	}
+	out := make([]int, len(reqs))
+	for i, req := range reqs {
+		select {
+		case r := <-req.done:
+			out[i] = r.class
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+			s.putReq(req)
+		case <-ctx.Done():
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+			// Abandoned in flight; not recycled (see putReq).
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// batchLoop is the micro-batcher: it blocks for the first request of a
+// batch, then coalesces follow-ups until MaxBatch is reached or MaxWait
+// has elapsed, whichever is first, and hands the batch to the shards.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerLive := false
+	var cur []*request
+	stopTimer := func() {
+		if timerLive && !timer.Stop() {
+			<-timer.C
+		}
+		timerLive = false
+	}
+	flush := func() {
+		if len(cur) > 0 {
+			s.stats.batches.Add(1)
+			s.stats.batched.Add(uint64(len(cur)))
+			s.batches <- cur
+			cur = nil
+		}
+	}
+	for {
+		if cur == nil {
+			req, ok := <-s.in
+			if !ok {
+				return
+			}
+			if err := req.ctx.Err(); err != nil {
+				s.finish(req, -1, err)
+				continue
+			}
+			cur = append((*s.batchPool.Get().(*[]*request))[:0], req)
+			if len(cur) >= s.cfg.MaxBatch {
+				flush()
+				continue
+			}
+			timer.Reset(s.cfg.MaxWait)
+			timerLive = true
+			continue
+		}
+		select {
+		case req, ok := <-s.in:
+			if !ok {
+				stopTimer()
+				flush()
+				return
+			}
+			if err := req.ctx.Err(); err != nil {
+				s.finish(req, -1, err)
+				continue
+			}
+			cur = append(cur, req)
+			if len(cur) >= s.cfg.MaxBatch {
+				stopTimer()
+				flush()
+			}
+		case <-timer.C:
+			timerLive = false
+			flush()
+		}
+	}
+}
+
+// workerLoop executes dispatched batches on one shard. Requests whose
+// context died while queued are completed with the context error without
+// touching the hardware.
+func (s *Server) workerLoop(sh *shard) {
+	defer s.wg.Done()
+	for b := range s.batches {
+		if s.cfg.testBatchHook != nil {
+			s.cfg.testBatchHook()
+		}
+		for _, req := range b {
+			if err := req.ctx.Err(); err != nil {
+				s.finish(req, -1, err)
+				continue
+			}
+			x := tensor.ViewInto(&sh.view, req.data, s.c, s.h, s.w)
+			class, err := sh.acc.PredictSample(s.model, x)
+			s.finish(req, class, err)
+		}
+		b = b[:0]
+		s.batchPool.Put(&b)
+	}
+}
+
+// finish records the outcome and completes the request. The buffered done
+// channel makes the send non-blocking even for abandoned requests.
+func (s *Server) finish(req *request, class int, err error) {
+	switch {
+	case err == nil:
+		s.stats.completed.Add(1)
+		s.stats.recordLatency(time.Since(req.start))
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.stats.canceled.Add(1)
+	default:
+		s.stats.errors.Add(1)
+	}
+	req.done <- response{class: class, err: err}
+}
+
+// Close stops accepting new requests, drains every already-accepted
+// request through the shards, waits for the batcher and workers to exit
+// and returns the final statistics. Close is idempotent.
+func (s *Server) Close() Stats {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.in)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return s.Stats()
+}
+
+// HardwareStats sums the simulated-hardware activity counters across all
+// shards: total MACs, cycles and locked outputs of the served traffic.
+func (s *Server) HardwareStats() tpu.Stats {
+	var total tpu.Stats
+	for _, sh := range s.shards {
+		total.Add(sh.acc.Stats())
+	}
+	return total
+}
+
+// WorkspaceBytes reports the summed activation-workspace footprint of all
+// shards — the serving memory cost beyond the model weights.
+func (s *Server) WorkspaceBytes() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.acc.WorkspaceBytes()
+	}
+	return total
+}
+
+// --- statistics --------------------------------------------------------------
+
+// latRing sizes the latency reservoir: percentiles are computed over the
+// most recent latRing completed requests.
+const latRing = 4096
+
+type statsRec struct {
+	completed  atomic.Uint64
+	errors     atomic.Uint64
+	canceled   atomic.Uint64
+	overloaded atomic.Uint64
+	batches    atomic.Uint64
+	batched    atomic.Uint64
+
+	latIdx atomic.Uint64
+	lat    [latRing]atomic.Int64
+}
+
+func (r *statsRec) recordLatency(d time.Duration) {
+	i := r.latIdx.Add(1) - 1
+	r.lat[i%latRing].Store(int64(d))
+}
+
+// Stats is a snapshot of the service counters and latency percentiles.
+type Stats struct {
+	// Completed counts successfully answered requests; Errors counts
+	// hardware/validation failures; Canceled counts requests whose context
+	// died while queued or in flight; Overloaded counts shed requests.
+	Completed, Errors, Canceled, Overloaded uint64
+	// Batches is the number of dispatched micro-batches and MeanBatch the
+	// average coalesced size.
+	Batches   uint64
+	MeanBatch float64
+	// Latency percentiles over the most recent completed requests
+	// (enqueue→completion, as observed by the shard).
+	P50, P90, P99, Max time.Duration
+}
+
+// String renders the snapshot for CLI shutdown reports.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"served %d requests (%d errors, %d canceled, %d shed) in %d batches (mean %.2f)\nlatency p50 %v  p90 %v  p99 %v  max %v",
+		s.Completed, s.Errors, s.Canceled, s.Overloaded, s.Batches, s.MeanBatch,
+		s.P50, s.P90, s.P99, s.Max)
+}
+
+// Stats snapshots the current counters. Safe to call at any time, including
+// while serving; percentiles cover the most recent latRing completions.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Completed:  s.stats.completed.Load(),
+		Errors:     s.stats.errors.Load(),
+		Canceled:   s.stats.canceled.Load(),
+		Overloaded: s.stats.overloaded.Load(),
+		Batches:    s.stats.batches.Load(),
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(s.stats.batched.Load()) / float64(st.Batches)
+	}
+	n := int(s.stats.latIdx.Load())
+	if n > latRing {
+		n = latRing
+	}
+	if n == 0 {
+		return st
+	}
+	lats := make([]int64, n)
+	for i := 0; i < n; i++ {
+		lats[i] = s.lat(i)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(n-1))
+		return time.Duration(lats[i])
+	}
+	st.P50, st.P90, st.P99, st.Max = pct(0.50), pct(0.90), pct(0.99), time.Duration(lats[n-1])
+	return st
+}
+
+func (s *Server) lat(i int) int64 { return s.stats.lat[i].Load() }

@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/rng"
+	"hpnn/internal/schedule"
+	"hpnn/internal/tensor"
+	"hpnn/internal/tpu"
+)
+
+// testFixture is a locked model plus everything needed to serve it and to
+// check served answers against a single-call reference device.
+type testFixture struct {
+	model *core.Model
+	dev   *keys.Device
+	sched *schedule.Schedule
+	x     *tensor.Tensor // [n, C, H, W] random inputs
+	want  []int          // single-call reference predictions
+	feat  int
+}
+
+// newFixture builds a small random locked MLP (8×8, 4 classes) with n
+// reference inputs. Random weights are fine for differential checks: the
+// quantized path is deterministic, so serve and single-call must agree
+// bit-for-bit regardless of training.
+func newFixture(t testing.TB, arch core.Arch, hw, n int, seed uint64) *testFixture {
+	t.Helper()
+	m := core.MustModel(core.Config{Arch: arch, InC: 1, InH: hw, InW: hw, Classes: 4, Seed: seed})
+	key := keys.Generate(rng.New(seed + 1))
+	sched := schedule.New(keys.KeyBits, seed+2)
+	m.ApplyRawKey(key, sched)
+	dev := keys.NewDevice("user", key)
+
+	x := tensor.New(n, 1, hw, hw)
+	x.FillUniform(rng.New(seed+3), -1, 1)
+
+	ref, err := tpu.NewAccelerator(tpu.DefaultConfig(), dev, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Predict(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testFixture{model: m, dev: dev, sched: sched, x: x, want: want, feat: hw * hw}
+}
+
+func (f *testFixture) server(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(f.model, tpu.DefaultConfig(), f.dev, f.sched, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// sample returns a [C, H, W] view of reference input i.
+func (f *testFixture) sample(i int) *tensor.Tensor {
+	return tensor.FromSlice(f.x.Data[i*f.feat:(i+1)*f.feat], 1, f.x.Shape[2], f.x.Shape[3])
+}
+
+func TestServePredictMatchesReference(t *testing.T) {
+	f := newFixture(t, core.MLP, 8, 16, 100)
+	s := f.server(t, Config{Shards: 2})
+	defer s.Close()
+	for i := 0; i < 16; i++ {
+		got, err := s.Predict(context.Background(), f.sample(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != f.want[i] {
+			t.Fatalf("sample %d: served class %d, reference %d", i, got, f.want[i])
+		}
+	}
+}
+
+func TestServeRejectsBadShape(t *testing.T) {
+	f := newFixture(t, core.MLP, 8, 1, 110)
+	s := f.server(t, Config{Shards: 1})
+	defer s.Close()
+	if _, err := s.Predict(context.Background(), tensor.New(1, 4, 4)); err == nil {
+		t.Fatal("wrong sample shape accepted")
+	}
+	if _, err := s.PredictBatch(context.Background(), tensor.New(2, 1, 4, 4)); err == nil {
+		t.Fatal("wrong batch shape accepted")
+	}
+}
+
+// TestServeHammer drives the batcher from 32 goroutines with mixed
+// single-sample and batch submissions plus mid-flight cancellations, and
+// asserts every request is answered exactly once with the reference class.
+// Run under -race (scripts/check.sh runs it -count=3).
+func TestServeHammer(t *testing.T) {
+	const n = 16
+	f := newFixture(t, core.MLP, 8, n, 120)
+	s := f.server(t, Config{Shards: 4, MaxBatch: 8, MaxWait: 100 * time.Microsecond, QueueDepth: 4096})
+	defer s.Close()
+
+	const goroutines = 32
+	const perG = 30
+	var answered, canceled atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(200 + g))
+			for i := 0; i < perG; i++ {
+				switch i % 3 {
+				case 0: // single sample
+					idx := int(r.Uint64() % n)
+					got, err := s.Predict(context.Background(), f.sample(idx))
+					if err != nil {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+					if got != f.want[idx] {
+						t.Errorf("goroutine %d sample %d: class %d, want %d", g, idx, got, f.want[idx])
+						return
+					}
+					answered.Add(1)
+				case 1: // batch of 1..5 samples starting at a random offset
+					bn := 1 + int(r.Uint64()%5)
+					lo := int(r.Uint64() % uint64(n-bn+1))
+					bx := tensor.FromSlice(f.x.Data[lo*f.feat:(lo+bn)*f.feat], bn, 1, 8, 8)
+					got, err := s.PredictBatch(context.Background(), bx)
+					if err != nil {
+						t.Errorf("goroutine %d batch: %v", g, err)
+						return
+					}
+					for j := range got {
+						if got[j] != f.want[lo+j] {
+							t.Errorf("goroutine %d batch sample %d: class %d, want %d",
+								g, lo+j, got[j], f.want[lo+j])
+							return
+						}
+					}
+					answered.Add(uint64(bn))
+				case 2: // cancellation racing the in-flight request
+					ctx, cancel := context.WithCancel(context.Background())
+					idx := int(r.Uint64() % n)
+					go cancel()
+					got, err := s.Predict(ctx, f.sample(idx))
+					switch {
+					case err == nil:
+						if got != f.want[idx] {
+							t.Errorf("goroutine %d canceled-race sample %d: class %d, want %d",
+								g, idx, got, f.want[idx])
+							return
+						}
+						answered.Add(1)
+					case errors.Is(err, context.Canceled):
+						canceled.Add(1)
+					default:
+						t.Errorf("goroutine %d canceled-race: unexpected error %v", g, err)
+						return
+					}
+					cancel()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Close()
+	if st.Overloaded != 0 {
+		t.Fatalf("queue sized for the load yet %d requests shed", st.Overloaded)
+	}
+	// Every submission got exactly one outcome; the server's own counters
+	// must agree with the client-side tally (completed answers the server
+	// recorded for abandoned requests are counted in st.Completed but not in
+	// answered, so the server total can only exceed the client tally by the
+	// number of cancellations).
+	if st.Completed < answered.Load() {
+		t.Fatalf("server completed %d < client-observed %d", st.Completed, answered.Load())
+	}
+	if st.Completed+st.Canceled < answered.Load()+canceled.Load() {
+		t.Fatalf("server outcomes %d+%d lost requests (client saw %d+%d)",
+			st.Completed, st.Canceled, answered.Load(), canceled.Load())
+	}
+}
+
+// TestServeCloseDuringLoad closes the server while 16 goroutines are
+// submitting: every Predict must return (a class or ErrClosed — nothing
+// may hang), accepted requests must drain, and Close must not deadlock.
+func TestServeCloseDuringLoad(t *testing.T) {
+	const n = 8
+	f := newFixture(t, core.MLP, 8, n, 130)
+	s := f.server(t, Config{Shards: 2, MaxBatch: 4, MaxWait: 50 * time.Microsecond, QueueDepth: 1024})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var served, rejected atomic.Uint64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := (g + i) % n
+				got, err := s.Predict(context.Background(), f.sample(idx))
+				switch {
+				case err == nil:
+					if got != f.want[idx] {
+						t.Errorf("sample %d: class %d, want %d", idx, got, f.want[idx])
+						return
+					}
+					served.Add(1)
+				case errors.Is(err, ErrClosed):
+					rejected.Add(1)
+					return
+				case errors.Is(err, ErrOverloaded):
+					// acceptable under this much load; retry
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond) // let load build
+
+	closed := make(chan Stats, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case st := <-closed:
+		close(stop)
+		wg.Wait()
+		if st.Completed == 0 {
+			t.Fatal("no requests served before close")
+		}
+		if st.Completed < served.Load() {
+			t.Fatalf("server counted %d completions, clients observed %d", st.Completed, served.Load())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close deadlocked under load")
+	}
+
+	if _, err := s.Predict(context.Background(), f.sample(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close Predict returned %v, want ErrClosed", err)
+	}
+	// Idempotent close.
+	s.Close()
+}
+
+// TestServeQueuedCancellation cancels contexts of requests sitting in the
+// queue behind a held batcher window and checks they resolve with the
+// context error while later traffic still flows.
+func TestServeQueuedCancellation(t *testing.T) {
+	const n = 8
+	f := newFixture(t, core.MLP, 8, n, 140)
+	// One shard and a long MaxWait so requests linger in the batch window.
+	s := f.server(t, Config{Shards: 1, MaxBatch: 64, MaxWait: 20 * time.Millisecond, QueueDepth: 256})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Predict(ctx, f.sample(i%n))
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond) // requests now queued or in the window
+	cancel()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("request %d: unexpected error %v", i, err)
+		}
+	}
+	// The server keeps serving after the cancellation storm.
+	got, err := s.Predict(context.Background(), f.sample(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f.want[0] {
+		t.Fatalf("post-cancel class %d, want %d", got, f.want[0])
+	}
+}
+
+// TestServeBackpressure stalls the single shard (via the test batch hook)
+// so the pipeline's total capacity is exactly known — one batch in the
+// worker, Shards batches buffered, one batch held by the blocked flush,
+// QueueDepth queued — floods past it, and requires typed overload errors
+// rather than unbounded buffering. Then it releases the shard and verifies
+// recovery. The hook makes this deterministic even on GOMAXPROCS=1, where
+// a free-running worker drains the queue faster than a flood can fill it.
+func TestServeBackpressure(t *testing.T) {
+	const n = 4
+	f := newFixture(t, core.MLP, 8, n, 150)
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	cfg := Config{Shards: 1, MaxBatch: 1, MaxWait: 50 * time.Microsecond, QueueDepth: 1}
+	cfg.testBatchHook = func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-gate
+	}
+	s := f.server(t, cfg)
+	defer s.Close()
+
+	// With MaxBatch=1 every request is its own batch, so while the worker is
+	// parked in the hook the pipeline holds at most: 1 (in the worker) +
+	// 1 (batches buffer, cap=Shards) + 1 (batcher's flush blocked mid-send) +
+	// 1 (queue, cap=QueueDepth) = 4 requests. Everything beyond must shed.
+	const capacity = 4
+	const flood = 12
+
+	var overloaded, served atomic.Uint64
+	var wg sync.WaitGroup
+	submit := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Predict(context.Background(), f.sample(i%n))
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				overloaded.Add(1)
+			case err == nil:
+				served.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+
+	submit(0)
+	select {
+	case <-entered: // the shard is now provably parked
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked up the first request")
+	}
+	for i := 1; i < flood; i++ {
+		submit(i)
+	}
+	// The stalled pipeline absorbs at most capacity-1 more requests, so at
+	// least flood-capacity goroutines must observe ErrOverloaded.
+	deadline := time.Now().Add(10 * time.Second)
+	for overloaded.Load() < flood-capacity {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled pipeline of capacity %d shed only %d of %d requests",
+				capacity, overloaded.Load(), flood)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	close(gate) // release the shard; absorbed requests drain
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no request survived the flood")
+	}
+	if served.Load() > capacity {
+		t.Fatalf("pipeline of capacity %d served %d flood requests", capacity, served.Load())
+	}
+	if got := s.Stats().Overloaded; got != overloaded.Load() {
+		t.Fatalf("server counted %d shed requests, clients saw %d", got, overloaded.Load())
+	}
+	// Recovery: a lone request goes straight through.
+	if _, err := s.Predict(context.Background(), f.sample(0)); err != nil {
+		t.Fatalf("server did not recover after overload: %v", err)
+	}
+}
+
+// TestServeBatchCoalescing checks the micro-batcher actually coalesces:
+// concurrent submissions under a generous window must produce fewer
+// dispatches than requests.
+func TestServeBatchCoalescing(t *testing.T) {
+	const n = 16
+	f := newFixture(t, core.MLP, 8, n, 160)
+	s := f.server(t, Config{Shards: 2, MaxBatch: 8, MaxWait: 5 * time.Millisecond, QueueDepth: 1024})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Predict(context.Background(), f.sample(i%n)); err != nil {
+				t.Errorf("predict: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Close()
+	if st.Completed != 64 {
+		t.Fatalf("completed %d of 64", st.Completed)
+	}
+	if st.Batches >= 64 {
+		t.Fatalf("64 requests dispatched as %d batches — no coalescing", st.Batches)
+	}
+	if st.MeanBatch <= 1 {
+		t.Fatalf("mean batch %.2f, want > 1", st.MeanBatch)
+	}
+}
+
+func TestServeStatsString(t *testing.T) {
+	f := newFixture(t, core.MLP, 8, 2, 170)
+	s := f.server(t, Config{Shards: 1})
+	if _, err := s.Predict(context.Background(), f.sample(0)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Close()
+	if st.P50 <= 0 || st.Max < st.P50 {
+		t.Fatalf("implausible latency percentiles: %+v", st)
+	}
+	if s.HardwareStats().MACs == 0 {
+		t.Fatal("served traffic recorded no MMU activity")
+	}
+	if s.WorkspaceBytes() == 0 {
+		t.Fatal("no workspace footprint reported")
+	}
+	if str := st.String(); str == "" {
+		t.Fatal("empty stats rendering")
+	}
+}

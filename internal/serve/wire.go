@@ -1,0 +1,186 @@
+package serve
+
+// Wire protocol for cmd/hpnn-serve: little-endian length-prefixed frames
+// over a byte stream (TCP). Deliberately minimal — no external encoders —
+// and hardened against malformed input (FuzzDecodeRequest): a decoder
+// must return an error, never panic or over-allocate, for arbitrary bytes.
+//
+//	frame    := len u32 | payload (len bytes, ≤ MaxFrameBytes)
+//	request  := version u8 | rank u8 | dim u32 × rank | value f64 × prod(dims)
+//	response := version u8 | status u8 | class u32            (status 0, ok)
+//	          | version u8 | status u8 | mlen u16 | msg bytes  (status 1, error)
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"hpnn/internal/tensor"
+)
+
+const (
+	// WireVersion is the protocol version byte on every payload.
+	WireVersion = 1
+	// MaxFrameBytes bounds a frame payload; larger length prefixes are
+	// rejected before any allocation.
+	MaxFrameBytes = 16 << 20
+	// maxRank bounds request tensor rank ([C,H,W] samples use 3).
+	maxRank = 4
+
+	statusOK  = 0
+	statusErr = 1
+)
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("serve: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeRequest writes x as one request frame.
+func EncodeRequest(w io.Writer, x *tensor.Tensor) error {
+	rank := len(x.Shape)
+	if rank < 1 || rank > maxRank {
+		return fmt.Errorf("serve: request rank %d out of [1,%d]", rank, maxRank)
+	}
+	payload := make([]byte, 2+4*rank+8*x.Len())
+	payload[0] = WireVersion
+	payload[1] = byte(rank)
+	off := 2
+	for _, d := range x.Shape {
+		binary.LittleEndian.PutUint32(payload[off:], uint32(d))
+		off += 4
+	}
+	for _, v := range x.Data {
+		binary.LittleEndian.PutUint64(payload[off:], math.Float64bits(v))
+		off += 8
+	}
+	return writeFrame(w, payload)
+}
+
+// DecodeRequest reads one request frame and returns the sample tensor. It
+// validates version, rank, dimensions and payload length before allocating
+// the tensor, and rejects non-finite values — junk the quantizer must never
+// see.
+func DecodeRequest(r io.Reader) (*tensor.Tensor, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("serve: request payload of %d bytes truncated", len(payload))
+	}
+	if payload[0] != WireVersion {
+		return nil, fmt.Errorf("serve: request version %d, want %d", payload[0], WireVersion)
+	}
+	rank := int(payload[1])
+	if rank < 1 || rank > maxRank {
+		return nil, fmt.Errorf("serve: request rank %d out of [1,%d]", rank, maxRank)
+	}
+	if len(payload) < 2+4*rank {
+		return nil, fmt.Errorf("serve: request payload truncated in dimensions")
+	}
+	shape := make([]int, rank)
+	elems := 1
+	off := 2
+	for i := range shape {
+		d := binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+		if d == 0 || d > MaxFrameBytes {
+			return nil, fmt.Errorf("serve: request dimension %d invalid", d)
+		}
+		shape[i] = int(d)
+		elems *= int(d)
+		if elems > MaxFrameBytes/8 {
+			return nil, fmt.Errorf("serve: request of %d elements exceeds frame limit", elems)
+		}
+	}
+	if len(payload) != off+8*elems {
+		return nil, fmt.Errorf("serve: request payload %d bytes, want %d for shape %v",
+			len(payload), off+8*elems, shape)
+	}
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("serve: non-finite value at element %d", i)
+		}
+		x.Data[i] = v
+	}
+	return x, nil
+}
+
+// EncodeResponse writes one response frame: the predicted class, or the
+// error's message when err is non-nil.
+func EncodeResponse(w io.Writer, class int, err error) error {
+	if err != nil {
+		msg := err.Error()
+		if len(msg) > math.MaxUint16 {
+			msg = msg[:math.MaxUint16]
+		}
+		payload := make([]byte, 4+len(msg))
+		payload[0], payload[1] = WireVersion, statusErr
+		binary.LittleEndian.PutUint16(payload[2:], uint16(len(msg)))
+		copy(payload[4:], msg)
+		return writeFrame(w, payload)
+	}
+	var payload [6]byte
+	payload[0], payload[1] = WireVersion, statusOK
+	binary.LittleEndian.PutUint32(payload[2:], uint32(class))
+	return writeFrame(w, payload[:])
+}
+
+// DecodeResponse reads one response frame, returning the predicted class or
+// the server-reported error.
+func DecodeResponse(r io.Reader) (int, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return -1, err
+	}
+	if len(payload) < 2 {
+		return -1, fmt.Errorf("serve: response payload of %d bytes truncated", len(payload))
+	}
+	if payload[0] != WireVersion {
+		return -1, fmt.Errorf("serve: response version %d, want %d", payload[0], WireVersion)
+	}
+	switch payload[1] {
+	case statusOK:
+		if len(payload) != 6 {
+			return -1, fmt.Errorf("serve: ok response payload %d bytes, want 6", len(payload))
+		}
+		return int(int32(binary.LittleEndian.Uint32(payload[2:]))), nil
+	case statusErr:
+		if len(payload) < 4 {
+			return -1, fmt.Errorf("serve: error response truncated")
+		}
+		mlen := int(binary.LittleEndian.Uint16(payload[2:]))
+		if len(payload) != 4+mlen {
+			return -1, fmt.Errorf("serve: error response payload %d bytes, want %d", len(payload), 4+mlen)
+		}
+		return -1, fmt.Errorf("serve: remote: %s", payload[4:])
+	default:
+		return -1, fmt.Errorf("serve: response status %d unknown", payload[1])
+	}
+}

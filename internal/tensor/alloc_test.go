@@ -69,6 +69,38 @@ func TestWorkspaceZeroAllocSteadyState(t *testing.T) {
 	})
 }
 
+func TestWorkspaceSealEnforcesFootprint(t *testing.T) {
+	ws := NewWorkspace()
+	ws.Get("a", 8, 8)
+	ws.Get("b", 4)
+	ws.Seal()
+	if !ws.Sealed() {
+		t.Fatal("Seal did not mark the workspace sealed")
+	}
+	// Reuse and in-capacity reshapes stay legal.
+	ws.Get("a", 8, 8)
+	ws.Get("a", 4, 4)
+	ws.Get("b", 2)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Errorf("%s: sealed workspace did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("new key", func() { ws.Get("c", 1) })
+	mustPanic("growth", func() { ws.Get("b", 1024) })
+
+	ws.Reset()
+	if ws.Sealed() {
+		t.Fatal("Reset did not lift the seal")
+	}
+	ws.Get("c", 16) // legal again after Reset
+}
+
 func TestEnsureShapeAlternatingBatchZeroAlloc(t *testing.T) {
 	// The short final batch of an epoch shrinks the buffer in place; the
 	// next full batch must find the original capacity still there.

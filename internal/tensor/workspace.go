@@ -64,9 +64,11 @@ func EnsureInts(s []int, n int) []int {
 //
 // Keys should be static strings (or strings built once at plan time):
 // map lookups with an existing key do not allocate. A Workspace is not safe
-// for concurrent use; give each execution context its own.
+// for concurrent use; give each execution context its own — the serving
+// layer runs one workspace per shard for exactly this reason.
 type Workspace struct {
-	bufs map[string]*Tensor
+	bufs   map[string]*Tensor
+	sealed bool
 }
 
 // NewWorkspace returns an empty workspace.
@@ -80,6 +82,9 @@ func (w *Workspace) Get(key string, shape ...int) *Tensor {
 		w.bufs = make(map[string]*Tensor)
 	}
 	t, ok := w.bufs[key]
+	if w.sealed && (!ok || cap(t.Data) < Prod(shape)) {
+		panic("tensor: sealed workspace would allocate for key " + key)
+	}
 	t = EnsureShape(t, shape...)
 	if !ok {
 		w.bufs[key] = t
@@ -95,11 +100,24 @@ func (w *Workspace) GetZeroed(key string, shape ...int) *Tensor {
 	return t
 }
 
-// Reset drops every buffer, releasing the memory to the garbage collector.
+// Seal freezes the workspace's memory footprint: after Seal, a Get that
+// would create a new buffer or grow an existing one panics instead of
+// allocating. Callers with a fixed working set (a serving shard after its
+// warmup inference) use this to turn the steady-state zero-allocation
+// invariant from a benchmark observation into an enforced runtime contract.
+// Reshaping within existing capacity remains allowed.
+func (w *Workspace) Seal() { w.sealed = true }
+
+// Sealed reports whether the workspace has been sealed.
+func (w *Workspace) Sealed() bool { return w.sealed }
+
+// Reset drops every buffer, releasing the memory to the garbage collector,
+// and lifts any seal.
 func (w *Workspace) Reset() {
 	for k := range w.bufs {
 		delete(w.bufs, k)
 	}
+	w.sealed = false
 }
 
 // Bytes reports the total bytes currently held by the workspace's buffers.

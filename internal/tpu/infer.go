@@ -70,9 +70,8 @@ func (a *Accelerator) ResetStats() { a.mmu.ResetStats() }
 // quantize converts to the accelerator's datapath width.
 func (a *Accelerator) quantize(t *tensor.Tensor) *QTensor { return QuantizeTo(t, a.bits) }
 
-// Predict runs x ([N, C, H, W]) through the model on the simulated
-// hardware and returns the argmax class per sample.
-func (a *Accelerator) Predict(m *core.Model, x *tensor.Tensor) ([]int, error) {
+// planFor returns the compiled plan for m, lowering it on first use.
+func (a *Accelerator) planFor(m *core.Model) ([]planOp, error) {
 	plan, ok := a.plans[m]
 	if !ok {
 		var err error
@@ -80,6 +79,56 @@ func (a *Accelerator) Predict(m *core.Model, x *tensor.Tensor) ([]int, error) {
 			return nil, err
 		}
 		a.plans[m] = plan
+	}
+	return plan, nil
+}
+
+// Compile eagerly lowers m for execution on this device, so the first
+// inference pays no compilation cost. Compiled ops own all their mutable
+// state (activation scratch, quantized weight caches, cloned vector-unit
+// layers), which is what lets the serving layer run one accelerator per
+// shard over a single shared model with no cross-shard sharing.
+func (a *Accelerator) Compile(m *core.Model) error {
+	_, err := a.planFor(m)
+	return err
+}
+
+// Seal freezes the device's activation workspace: after one warmup
+// inference has sized every compiled op's buffers, sealing turns any
+// further buffer growth into a panic, enforcing the steady-state
+// zero-allocation contract. Serving shards seal after warmup; inputs must
+// then keep the warmed shape.
+func (a *Accelerator) Seal() { a.ws.Seal() }
+
+// WorkspaceSealed reports whether Seal has frozen the workspace.
+func (a *Accelerator) WorkspaceSealed() bool { return a.ws.Sealed() }
+
+// WorkspaceBytes reports the bytes held by the device's activation
+// workspace — the per-shard memory cost of the serving layer.
+func (a *Accelerator) WorkspaceBytes() int { return a.ws.Bytes() }
+
+// PredictSample runs a single sample x ([C, H, W] — no batch dimension)
+// through the model and returns its argmax class. It is the per-request
+// entry point of the serving layer: unlike Predict it returns no slice and
+// performs zero heap allocations in steady state.
+func (a *Accelerator) PredictSample(m *core.Model, x *tensor.Tensor) (int, error) {
+	plan, err := a.planFor(m)
+	if err != nil {
+		return -1, err
+	}
+	out, err := runOps(a, plan, x)
+	if err != nil {
+		return -1, err
+	}
+	return tensor.Argmax(out.Data), nil
+}
+
+// Predict runs x ([N, C, H, W]) through the model on the simulated
+// hardware and returns the argmax class per sample.
+func (a *Accelerator) Predict(m *core.Model, x *tensor.Tensor) ([]int, error) {
+	plan, err := a.planFor(m)
+	if err != nil {
+		return nil, err
 	}
 	n := x.Shape[0]
 	feat := x.Len() / maxInt(n, 1)

@@ -102,6 +102,14 @@ func (m *MMU) columnBit(col int) byte {
 // key bit as the product stream — negated on preload when k = 1 — so the
 // unit produces exactly L_j·(Σ a·w + b).
 func (m *MMU) MatMulLocked(w []int8, mRows, k int, x []int8, p int, bias []int32, cols []int) []int32 {
+	return m.MatMulLockedInto(nil, w, mRows, k, x, p, bias, cols)
+}
+
+// MatMulLockedInto is MatMulLocked writing the accumulator outputs into dst
+// (grown as needed and returned). Compiled plan ops keep one accumulator
+// buffer per op, so steady-state inference — one sample per request on a
+// serving shard — performs no MMU-side allocation.
+func (m *MMU) MatMulLockedInto(dst []int32, w []int8, mRows, k int, x []int8, p int, bias []int32, cols []int) []int32 {
 	if len(w) != mRows*k {
 		panic(fmt.Sprintf("tpu: weight buffer %d != %d×%d", len(w), mRows, k))
 	}
@@ -114,7 +122,10 @@ func (m *MMU) MatMulLocked(w []int8, mRows, k int, x []int8, p int, bias []int32
 	if m.cfg.Systolic {
 		return m.matMulSystolic(w, mRows, k, x, p, bias, cols)
 	}
-	out := make([]int32, mRows*p)
+	if cap(dst) < mRows*p {
+		dst = make([]int32, mRows*p)
+	}
+	out := dst[:mRows*p]
 	var gateOps, locked uint64
 	unit := Accumulator{GateLevel: m.cfg.GateLevel}
 	for o := 0; o < mRows; o++ {

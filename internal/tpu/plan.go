@@ -67,7 +67,7 @@ func (c *planCompiler) compile(net *nn.Network) ([]planOp, error) {
 			ops = append(ops, op)
 			i += consumed
 		case *nn.MaxPool, *nn.AvgPool, *nn.GlobalAvgPool, *nn.Flatten:
-			ops = append(ops, &vectorOp{layer: layers[i]})
+			ops = append(ops, &vectorOp{layer: cloneVectorLayer(layers[i])})
 		case *nn.ReLU:
 			ops = append(ops, &lockReluOp{relu: true, outKey: c.key("relu")})
 		case *nn.Lock:
@@ -84,7 +84,7 @@ func (c *planCompiler) compile(net *nn.Network) ([]planOp, error) {
 			})
 		case *nn.BatchNorm2D:
 			// Standalone BN (not behind a conv): eval-mode affine.
-			ops = append(ops, &affineOp{bn: l})
+			ops = append(ops, &affineOp{bn: cloneBatchNorm(l)})
 		case *nn.Residual:
 			body, err := c.compile(l.Body)
 			if err != nil {
@@ -162,6 +162,37 @@ func (c *planCompiler) fuseMAC(layers []nn.Layer, i int) (planOp, int, error) {
 	}
 }
 
+// cloneVectorLayer gives a compiled plan its own instance of a
+// parameter-free vector-unit layer. The nn layers own reusable forward
+// scratch, so sharing the model's instances across plans would race when
+// several accelerators — the serving layer's shards — execute one model
+// concurrently. These layers hold no trainable state, so a fresh instance
+// is semantically identical.
+func cloneVectorLayer(l nn.Layer) nn.Layer {
+	switch v := l.(type) {
+	case *nn.MaxPool:
+		return nn.NewMaxPool(v.Geom)
+	case *nn.AvgPool:
+		return nn.NewAvgPool(v.Geom)
+	case *nn.GlobalAvgPool:
+		return nn.NewGlobalAvgPool()
+	case *nn.Flatten:
+		return nn.NewFlatten()
+	}
+	panic("tpu: cloneVectorLayer on unsupported layer " + l.Name())
+}
+
+// cloneBatchNorm gives a plan its own standalone batch-norm instance:
+// scratch is per-plan, while the parameters and running statistics stay
+// shared views of the model's tensors — eval-mode forward only reads them.
+func cloneBatchNorm(bn *nn.BatchNorm2D) *nn.BatchNorm2D {
+	return &nn.BatchNorm2D{
+		C: bn.C, Eps: bn.Eps, Momentum: bn.Momentum,
+		Gamma: bn.Gamma, Beta: bn.Beta,
+		RunMean: bn.RunMean, RunVar: bn.RunVar,
+	}
+}
+
 // foldBN folds eval-mode batch-norm into convolution weights and bias:
 // scale_c = γ_c/√(var_c+ε);  W'_c = scale_c·W_c;  b'_c = scale_c·(b_c−μ_c)+β_c.
 // With bn == nil the original tensors are returned unchanged.
@@ -201,6 +232,7 @@ type convOp struct {
 	bias           []int32
 	cols           []int
 	q8             []int8
+	acc            []int32
 }
 
 func (o *convOp) opName() string { return "conv" }
@@ -223,9 +255,9 @@ func (o *convOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, erro
 	if o.lockID != "" && o.cols == nil {
 		o.cols = a.sched.Assign(o.lockID, o.outC*pix)
 	}
-	acc := a.mmu.MatMulLocked(o.qW.Data, o.outC, g.InC*g.KH*g.KW, o.qIn.Data, pix, o.bias, o.cols)
+	o.acc = a.mmu.MatMulLockedInto(o.acc, o.qW.Data, o.outC, g.InC*g.KH*g.KW, o.qIn.Data, pix, o.bias, o.cols)
 	out := a.ws.Get(o.outKey, o.outC, g.OutH(), g.OutW())
-	o.q8 = finishMACInto(out, acc, accScale, o.relu, o.q8)
+	o.q8 = finishMACInto(out, o.acc, accScale, o.relu, o.q8)
 	return out, nil
 }
 
@@ -243,6 +275,7 @@ type denseOp struct {
 	bias   []int32
 	cols   []int
 	q8     []int8
+	acc    []int32
 }
 
 func (o *denseOp) opName() string { return "dense" }
@@ -261,9 +294,9 @@ func (o *denseOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, err
 	if o.lockID != "" && o.cols == nil {
 		o.cols = a.sched.Assign(o.lockID, o.out)
 	}
-	acc := a.mmu.MatMulLocked(o.qW.Data, o.out, o.in, o.qIn.Data, 1, o.bias, o.cols)
+	o.acc = a.mmu.MatMulLockedInto(o.acc, o.qW.Data, o.out, o.in, o.qIn.Data, 1, o.bias, o.cols)
 	out := a.ws.Get(o.outKey, o.out)
-	o.q8 = finishMACInto(out, acc, accScale, o.relu, o.q8)
+	o.q8 = finishMACInto(out, o.acc, accScale, o.relu, o.q8)
 	return out, nil
 }
 

@@ -1,10 +1,19 @@
 #!/bin/sh
 # Fast correctness gate for the hot compute path: static analysis plus the
-# tensor/nn suites under the race detector. The worker pool and the
-# buffer-reusing layers are the only concurrent code in the repo, so this
-# catches dispatch races without paying for the full (slow) suite.
+# concurrent packages under the race detector. The worker pool, the
+# buffer-reusing layers and the serving layer (batcher + worker shards)
+# are the repo's concurrent code, so this catches dispatch and
+# request-lifecycle races without paying for the full (slow) suite.
 set -eu
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/tensor/... ./internal/nn/...
+go test -race ./internal/tensor/... ./internal/nn/... ./internal/serve/...
+# The accelerator's own concurrency surface (per-shard plans over one
+# shared model, zero-alloc PredictSample) — by name, so the gate skips the
+# tpu package's slow training suites.
+go test -race -run 'TestServeConcurrentAccelerators|TestPredictSampleMatchesPredict' ./internal/tpu/
+# The serve lifecycle tests (hammer, close-under-load, backpressure,
+# cancellation) are scheduler-sensitive; repeat them to shake out
+# interleavings a single run can miss.
+go test -race -count=3 -run TestServe ./internal/serve/
