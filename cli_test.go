@@ -76,6 +76,32 @@ func TestCLIWorkflow(t *testing.T) {
 		t.Fatalf("tpu eval output unexpected:\n%s", out)
 	}
 
+	// Checkpoint/resume: an interrupted run (killed via a short -epochs)
+	// resumed with -resume must reach the same owner accuracy as an
+	// uninterrupted run with identical seeds.
+	ckpt := filepath.Join(dir, "train.ckpt")
+	model2 := filepath.Join(dir, "model2.hpnn")
+	trainArgs := []string{
+		"-dataset", "fashion", "-train-n", "400", "-test-n", "150",
+		"-seed", "5", "-out", model2, "-checkpoint", ckpt,
+	}
+	run("hpnn-train", append(trainArgs, "-epochs", "2")...)
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatal("checkpoint file not written")
+	}
+	resumedOut := run("hpnn-train", append(trainArgs, "-epochs", "4", "-resume")...)
+	if !strings.Contains(resumedOut, "resuming from") || !strings.Contains(resumedOut, "at epoch 2") {
+		t.Fatalf("resume output unexpected:\n%s", resumedOut)
+	}
+	straightOut := run("hpnn-train",
+		"-dataset", "fashion", "-train-n", "400", "-test-n", "150",
+		"-seed", "5", "-out", filepath.Join(dir, "model3.hpnn"), "-epochs", "4")
+	wantAcc := accuracyLine(t, straightOut)
+	gotAcc := accuracyLine(t, resumedOut)
+	if wantAcc != gotAcc {
+		t.Fatalf("resumed run diverged: straight %q vs resumed %q", wantAcc, gotAcc)
+	}
+
 	// Fine-tuning attack.
 	out = run("hpnn-attack", "-model", model, "-alpha", "0.05", "-epochs", "3",
 		"-train-n", "400", "-test-n", "150")
@@ -105,6 +131,20 @@ func TestCLIWorkflow(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(sheets, "fashion.png")); err != nil {
 		t.Fatal("contact sheet not written")
 	}
+}
+
+// accuracyLine extracts the "owner accuracy" summary line from
+// hpnn-train's output — the exact printed accuracy, so a bitwise-resumed
+// run must reproduce it character for character.
+func accuracyLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "owner accuracy") {
+			return line
+		}
+	}
+	t.Fatalf("no owner-accuracy line in output:\n%s", out)
+	return ""
 }
 
 // TestCLIServe drives the network inference service end to end: train a

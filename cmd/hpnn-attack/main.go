@@ -33,6 +33,8 @@ func main() {
 		momentum  = flag.Float64("momentum", 0.9, "fine-tuning momentum")
 		mode      = flag.String("mode", "finetune", "attack mode: finetune or keyrecovery")
 		queries   = flag.Int("queries", 500, "query budget for -mode keyrecovery")
+		ckptPath  = flag.String("checkpoint", "", "write a resumable fine-tuning checkpoint here after every epoch")
+		resume    = flag.Bool("resume", false, "continue from -checkpoint if it exists; the resumed attack reproduces the uninterrupted one bitwise")
 	)
 	flag.Parse()
 
@@ -84,6 +86,7 @@ func main() {
 			Epochs: *epochs, BatchSize: 16, LR: *lr, Momentum: *momentum, Seed: *seed + 13,
 			Logf: log.Printf,
 		},
+		CheckpointPath: *ckptPath, Resume: *resume,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -38,6 +38,11 @@ func main() {
 		schedSd  = flag.Uint64("sched-seed", 77, "private hardware-schedule seed")
 		out      = flag.String("out", "model.hpnn", "output model file")
 		keyOut   = flag.String("key-out", "", "write the generated key (hex) to this file")
+		optName  = flag.String("optimizer", "sgd", "optimizer: sgd or adam")
+		schedNm  = flag.String("schedule", "step", "LR schedule: step, cosine or constant")
+		warmup   = flag.Int("warmup", 0, "linear LR warmup epochs before the schedule")
+		ckptPath = flag.String("checkpoint", "", "write a resumable training checkpoint here after every epoch (contains key material — keep private)")
+		resume   = flag.Bool("resume", false, "continue from -checkpoint if it exists; the resumed run reproduces the uninterrupted one bitwise")
 	)
 	flag.Parse()
 
@@ -88,12 +93,48 @@ func main() {
 	}
 	sched := hpnn.NewSchedule(*schedSd)
 
+	cfg := hpnn.TrainConfig{
+		Epochs: *epochs, BatchSize: *batch, LR: *lr, Momentum: *momentum, Seed: *seed + 3,
+		Optimizer: *optName, Schedule: *schedNm, WarmupEpochs: *warmup,
+		Logf: log.Printf,
+	}
+
+	// Resume a checkpointed run: the checkpoint restores the weights AND
+	// the engaged lock bits, so the key is not re-applied.
+	resumed := false
+	if *ckptPath != "" && *resume {
+		if _, err := os.Stat(*ckptPath); err == nil {
+			back, st, err := hpnn.LoadCheckpointFile(*ckptPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if back.Config.Arch != arch {
+				log.Fatalf("checkpoint architecture %s does not match -arch %s", back.Config.Arch, arch)
+			}
+			m = back
+			cfg.Resume = &st
+			resumed = true
+			log.Printf("resuming from %s at epoch %d", *ckptPath, st.NextEpoch)
+		}
+	}
+	if !resumed {
+		m.ApplyRawKey(key, sched)
+	}
+	if *ckptPath != "" {
+		cfg.Hooks.OnEpoch = func(info hpnn.TrainEpochInfo) bool {
+			if err := hpnn.SaveCheckpointFile(*ckptPath, m, info.Snapshot()); err != nil {
+				log.Fatalf("writing checkpoint: %v", err)
+			}
+			return true
+		}
+	}
+
 	log.Printf("training %s on %s (%dx%dx%d, %d train / %d test, %d locked neurons, %d params)",
 		arch, *dsName, ds.C, ds.H, ds.W, *trainN, *testN, m.LockedNeurons(), m.Net.ParamCount())
-	res := hpnn.TrainLocked(m, key, sched, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, hpnn.TrainConfig{
-		Epochs: *epochs, BatchSize: *batch, LR: *lr, Momentum: *momentum, Seed: *seed + 3,
-		Logf: log.Printf,
-	})
+	res, err := hpnn.TrainChecked(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ownerAcc := res.FinalTestAcc()
 
 	m.DisengageLocks()

@@ -36,6 +36,7 @@ import (
 	"hpnn/internal/serve"
 	"hpnn/internal/tensor"
 	"hpnn/internal/tpu"
+	"hpnn/internal/train"
 )
 
 // Re-exported core types. See the internal packages for full documentation.
@@ -50,6 +51,19 @@ type (
 	TrainConfig = core.TrainConfig
 	// TrainResult records a run's per-epoch trajectory.
 	TrainResult = core.TrainResult
+	// TrainHooks is the trainer's observer bus (per-step timing,
+	// samples/sec, evaluation callbacks, checkpoint snapshots).
+	TrainHooks = train.Hooks
+	// TrainStepInfo describes one completed optimizer step.
+	TrainStepInfo = train.StepInfo
+	// TrainEpochInfo describes one completed epoch, including throughput
+	// and a Snapshot closure for checkpointing.
+	TrainEpochInfo = train.EpochInfo
+	// TrainerState is the resumable trainer state captured by a snapshot
+	// and serialized inside checkpoint records.
+	TrainerState = train.State
+	// LRSchedule maps an epoch index to a learning rate.
+	LRSchedule = train.LRSchedule
 
 	// Key is a 256-bit HPNN secret key.
 	Key = keys.Key
@@ -148,6 +162,14 @@ func Train(m *Model, trainX *Tensor, trainY []int, testX *Tensor, testY []int, c
 	return core.Train(m, trainX, trainY, testX, testY, cfg)
 }
 
+// TrainChecked is Train returning errors instead of panicking: typed
+// train.DataSizeError for sample/label mismatches, configuration errors
+// for unknown optimizer or schedule names, and restore errors when
+// cfg.Resume does not match the run.
+func TrainChecked(m *Model, trainX *Tensor, trainY []int, testX *Tensor, testY []int, cfg TrainConfig) (TrainResult, error) {
+	return core.TrainChecked(m, trainX, trainY, testX, testY, cfg)
+}
+
 // GenerateDataset builds one of the synthetic benchmarks ("fashion",
 // "cifar" or "svhn").
 func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Generate(cfg) }
@@ -215,3 +237,26 @@ func SaveModelFile(path string, m *Model) error { return modelio.SaveFile(path, 
 
 // LoadModelFile reads a model from a file.
 func LoadModelFile(path string) (*Model, error) { return modelio.LoadFile(path) }
+
+// SaveCheckpoint writes a resumable training checkpoint: the model
+// (including lock bits — checkpoints are the owner's PRIVATE artifact,
+// unlike SaveModel's published format) plus the trainer state from a
+// TrainEpochInfo.Snapshot. Restore by passing the loaded state as
+// TrainConfig.Resume.
+func SaveCheckpoint(w io.Writer, m *Model, st TrainerState) error {
+	return modelio.SaveCheckpoint(w, m, st)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(r io.Reader) (*Model, TrainerState, error) { return modelio.LoadCheckpoint(r) }
+
+// SaveCheckpointFile writes a checkpoint atomically (temp file + rename),
+// so a crash mid-write never clobbers the previous good checkpoint.
+func SaveCheckpointFile(path string, m *Model, st TrainerState) error {
+	return modelio.SaveCheckpointFile(path, m, st)
+}
+
+// LoadCheckpointFile reads a checkpoint from a file.
+func LoadCheckpointFile(path string) (*Model, TrainerState, error) {
+	return modelio.LoadCheckpointFile(path)
+}

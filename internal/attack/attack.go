@@ -17,9 +17,12 @@ package attack
 
 import (
 	"fmt"
+	"os"
 
 	"hpnn/internal/core"
 	"hpnn/internal/dataset"
+	"hpnn/internal/modelio"
+	"hpnn/internal/train"
 )
 
 // Init selects the attacker's weight initialization.
@@ -55,6 +58,13 @@ type FineTuneConfig struct {
 	// Train is the attacker's training configuration. The paper's default
 	// threat model reuses the owner's hyperparameters; Fig. 6 sweeps them.
 	Train core.TrainConfig
+	// CheckpointPath, when non-empty, writes a resumable checkpoint of the
+	// attacker's fine-tuning run after every epoch, so long thief-fraction
+	// × learning-rate sweeps survive a restart.
+	CheckpointPath string
+	// Resume continues from CheckpointPath if the file exists; the
+	// restored run reproduces the uninterrupted one bitwise.
+	Resume bool
 }
 
 // Result is the outcome of one fine-tuning attack.
@@ -80,20 +90,44 @@ func FineTune(victim *core.Model, ds *dataset.Dataset, cfg FineTuneConfig) (Resu
 	if cfg.ThiefFrac < 0 || cfg.ThiefFrac > 1 {
 		return Result{}, nil, fmt.Errorf("attack: thief fraction %v out of [0,1]", cfg.ThiefFrac)
 	}
-	// The attacker knows the baseline architecture (white-box assumption)
-	// but not the key: locks are disengaged on the attacker's copy.
-	attackerCfg := victim.Config
-	attackerCfg.Seed = cfg.AttackerSeed
-	attacker, err := core.NewModel(attackerCfg)
-	if err != nil {
-		return Result{}, nil, err
-	}
-	if cfg.Init == InitStolen {
-		if err := victim.CloneWeightsTo(attacker); err != nil {
-			return Result{}, nil, err
+	trainCfg := cfg.Train
+
+	// Resume a previously checkpointed attack run if asked: the restored
+	// attacker model (weights + disengaged-lock state) and trainer state
+	// replace the fresh initialization below.
+	var attacker *core.Model
+	if cfg.CheckpointPath != "" && cfg.Resume {
+		if _, err := os.Stat(cfg.CheckpointPath); err == nil {
+			m, st, err := modelio.LoadCheckpointFile(cfg.CheckpointPath)
+			if err != nil {
+				return Result{}, nil, fmt.Errorf("attack: loading checkpoint: %w", err)
+			}
+			if m.Config.Arch != victim.Config.Arch {
+				return Result{}, nil, fmt.Errorf("attack: checkpoint architecture %s does not match victim %s",
+					m.Config.Arch, victim.Config.Arch)
+			}
+			attacker = m
+			trainCfg.Resume = &st
 		}
 	}
-	attacker.DisengageLocks()
+	if attacker == nil {
+		// The attacker knows the baseline architecture (white-box
+		// assumption) but not the key: locks are disengaged on the
+		// attacker's copy.
+		attackerCfg := victim.Config
+		attackerCfg.Seed = cfg.AttackerSeed
+		m, err := core.NewModel(attackerCfg)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		if cfg.Init == InitStolen {
+			if err := victim.CloneWeightsTo(m); err != nil {
+				return Result{}, nil, err
+			}
+		}
+		m.DisengageLocks()
+		attacker = m
+	}
 
 	res := Result{Init: cfg.Init, ThiefFrac: cfg.ThiefFrac}
 	res.PreAttackAcc = attacker.Accuracy(ds.TestX, ds.TestY, 64)
@@ -108,10 +142,33 @@ func FineTune(victim *core.Model, ds *dataset.Dataset, cfg FineTuneConfig) (Resu
 		return res, attacker, nil
 	}
 
-	// core.Train reuses the attacker network's layer scratch across steps,
+	// Checkpoint every epoch boundary through the trainer's hook bus; a
+	// failed write stops the run rather than silently losing restarts.
+	var ckptErr error
+	if cfg.CheckpointPath != "" {
+		user := trainCfg.Hooks.OnEpoch
+		trainCfg.Hooks.OnEpoch = func(info train.EpochInfo) bool {
+			if err := modelio.SaveCheckpointFile(cfg.CheckpointPath, attacker, info.Snapshot()); err != nil {
+				ckptErr = fmt.Errorf("attack: writing checkpoint: %w", err)
+				return false
+			}
+			if user != nil {
+				return user(info)
+			}
+			return true
+		}
+	}
+
+	// The trainer reuses the attacker network's layer scratch across steps,
 	// so the fine-tuning loop — like owner training — is allocation-free in
 	// steady state; sweeps over α or learning rate pay only per-run setup.
-	tr := core.Train(attacker, thiefX, thiefY, ds.TestX, ds.TestY, cfg.Train)
+	tr, err := core.TrainChecked(attacker, thiefX, thiefY, ds.TestX, ds.TestY, trainCfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if ckptErr != nil {
+		return Result{}, nil, ckptErr
+	}
 	res.TestAcc = tr.TestAcc
 	res.FinalAcc = tr.FinalTestAcc()
 	res.BestAcc = tr.BestTestAcc()

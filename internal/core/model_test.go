@@ -206,7 +206,7 @@ func TestTheorem1(t *testing.T) {
 	mse := nn.MSE{}
 	opt1 := nn.NewSGD(0.1)
 	opt2 := nn.NewSGD(0.1)
-	for epoch := 0; epoch < 25; epoch++ {
+	for ep := 0; ep < 25; ep++ {
 		x := tensor.New(4, 6)
 		x.FillNorm(r, 0, 1)
 		target := tensor.New(4, 3)

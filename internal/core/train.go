@@ -3,17 +3,22 @@ package core
 import (
 	"fmt"
 
-	"hpnn/internal/dataset"
-	"hpnn/internal/nn"
 	"hpnn/internal/tensor"
+	"hpnn/internal/train"
 )
 
-// TrainConfig controls a (key-dependent) training run. The same loop
-// serves owner training and attacker fine-tuning: the only difference is
-// the model's lock state and the data it sees.
+// TrainConfig controls a (key-dependent) training run. The same engine
+// serves owner training, watermark embedding and attacker fine-tuning:
+// the only difference is the model's lock state, the data it sees and the
+// hooks installed. The loop itself lives in internal/train; this type is
+// the model-level configuration surface.
 type TrainConfig struct {
-	Epochs      int
-	BatchSize   int
+	Epochs    int
+	BatchSize int
+	// Optimizer selects the update rule by name: "" or "sgd" is momentum
+	// SGD (the delta rule of Eq. 3 plus momentum); "adam" is Adam with
+	// standard betas (Momentum below is then ignored).
+	Optimizer   string
 	LR          float64
 	Momentum    float64
 	WeightDecay float64
@@ -21,18 +26,40 @@ type TrainConfig struct {
 	// longer runs; 0 disables decay.
 	LRDecayEvery  int
 	LRDecayFactor float64
+	// Schedule names the learning-rate schedule: "" or "step" uses
+	// LRDecayEvery/LRDecayFactor; "cosine" anneals to MinLR over the run;
+	// "constant" holds LR fixed. WarmupEpochs, when positive, prepends a
+	// linear ramp up to the base rate before the named schedule begins.
+	Schedule     string
+	WarmupEpochs int
+	MinLR        float64
 	// ClipNorm caps the global gradient norm per step. 0 selects the
 	// default of 5 (which stabilizes high-LR momentum runs); negative
 	// values disable clipping.
 	ClipNorm float64
 	Seed     uint64
-	// Logf receives one line per epoch when non-nil.
+	// Logf receives one line per epoch when non-nil (legacy convenience;
+	// equivalent to Hooks.Logf).
 	Logf func(format string, args ...any)
 	// OnEpoch, when non-nil, runs after every epoch with the 0-based
 	// epoch index and the trajectory so far. Returning false stops
-	// training early — the hook point for checkpointing (pair it with
-	// modelio.SaveFile) and early stopping.
+	// training early (legacy convenience; Hooks.OnEpoch carries timing,
+	// throughput and checkpoint snapshots).
 	OnEpoch func(epoch int, r TrainResult) bool
+	// Hooks is the trainer's full observer bus: per-step timing,
+	// samples/sec, evaluation callbacks and resumable state snapshots for
+	// checkpointing (pair EpochInfo.Snapshot with modelio.SaveCheckpoint).
+	Hooks train.Hooks
+	// GradAugment, when non-nil, runs between the backward pass and
+	// gradient clipping each step; it may add regularizer terms to the
+	// parameter gradients and returns the extra per-sample loss (the
+	// watermark embedding path).
+	GradAugment func() float64
+	// Resume restores trainer state captured by EpochInfo.Snapshot
+	// (typically round-tripped through a modelio checkpoint record); the
+	// run then continues the interrupted one bitwise. The model must
+	// already hold the checkpointed weights and lock bits.
+	Resume *train.State
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -52,6 +79,26 @@ func (c TrainConfig) withDefaults() TrainConfig {
 		c.ClipNorm = 5
 	}
 	return c
+}
+
+// schedule builds the train.LRSchedule the config names. Cosine decays
+// over the post-warmup horizon so the final epoch lands exactly on MinLR.
+func (c TrainConfig) schedule() (train.LRSchedule, error) {
+	var base train.LRSchedule
+	switch c.Schedule {
+	case "", "step":
+		base = train.StepDecay{Base: c.LR, Every: c.LRDecayEvery, Factor: c.LRDecayFactor}
+	case "cosine":
+		base = train.Cosine{Base: c.LR, Min: c.MinLR, Epochs: c.Epochs - c.WarmupEpochs}
+	case "constant", "const":
+		base = train.Constant{Base: c.LR}
+	default:
+		return nil, fmt.Errorf("hpnn: unknown LR schedule %q (want step, cosine or constant)", c.Schedule)
+	}
+	if c.WarmupEpochs > 0 {
+		base = train.LinearWarmup{Epochs: c.WarmupEpochs, Next: base}
+	}
+	return base, nil
 }
 
 // TrainResult records the per-epoch trajectory of a run — the raw series
@@ -83,52 +130,81 @@ func (r TrainResult) FinalTestAcc() float64 {
 	return r.TestAcc[len(r.TestAcc)-1]
 }
 
-// Train optimizes the model on (trainX, trainY) with softmax cross-entropy
-// and momentum SGD. If testX is non-nil the model is evaluated after every
-// epoch (eval mode, locks in their current state).
-func Train(m *Model, trainX *tensor.Tensor, trainY []int, testX *tensor.Tensor, testY []int, cfg TrainConfig) TrainResult {
+// NewTrainer builds the unified training engine for m from cfg, with the
+// legacy Logf/OnEpoch fields merged into the hook bus. Most callers want
+// TrainChecked; the experiments and checkpointing CLIs use the trainer
+// directly when they need Snapshot access between epochs.
+func NewTrainer(m *Model, cfg TrainConfig) (*train.Trainer, error) {
 	cfg = cfg.withDefaults()
-	if trainX.Shape[0] != len(trainY) {
-		panic(fmt.Sprintf("hpnn: %d samples vs %d labels", trainX.Shape[0], len(trainY)))
+	sched, err := cfg.schedule()
+	if err != nil {
+		return nil, err
 	}
-	opt := nn.NewMomentumSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
-	loss := nn.SoftmaxCrossEntropy{}
-	// The parameter list and loss-gradient buffer are hoisted out of the
-	// step loop: together with the layers' own scratch reuse this makes the
-	// steady-state step allocation-free.
-	params := m.Net.Params()
-	var gradBuf *tensor.Tensor
-	var res TrainResult
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		opt.SetLR(nn.StepDecay(cfg.LR, epoch, cfg.LRDecayEvery, cfg.LRDecayFactor))
-		batches := dataset.Batches(trainX, trainY, cfg.BatchSize, cfg.Seed+uint64(epoch)*0x9e37+1)
-		epochLoss := 0.0
-		for _, b := range batches {
-			out := m.Net.Forward(b.X, true)
-			l, g := loss.LossInto(gradBuf, out, b.Y)
-			gradBuf = g
-			epochLoss += l * float64(len(b.Y))
-			m.Net.Backward(g)
-			if cfg.ClipNorm > 0 {
-				nn.ClipGradNorm(params, cfg.ClipNorm)
+	hooks := cfg.Hooks
+	if hooks.Logf == nil {
+		hooks.Logf = cfg.Logf
+	}
+	if legacy := cfg.OnEpoch; legacy != nil {
+		user := hooks.OnEpoch
+		hooks.OnEpoch = func(info train.EpochInfo) bool {
+			ok := true
+			if user != nil {
+				ok = user(info)
 			}
-			opt.Step(params)
-		}
-		epochLoss /= float64(len(trainY))
-		res.EpochLoss = append(res.EpochLoss, epochLoss)
-		if testX != nil {
-			acc := m.Accuracy(testX, testY, cfg.BatchSize)
-			res.TestAcc = append(res.TestAcc, acc)
-			if cfg.Logf != nil {
-				cfg.Logf("epoch %2d  loss %.4f  test acc %.4f", epoch+1, epochLoss, acc)
-			}
-		} else if cfg.Logf != nil {
-			cfg.Logf("epoch %2d  loss %.4f", epoch+1, epochLoss)
-		}
-		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, res) {
-			break
+			r := TrainResult{EpochLoss: info.Trajectory.EpochLoss, TestAcc: info.Trajectory.TestAcc}
+			return legacy(info.Epoch, r) && ok
 		}
 	}
+	return train.New(m.Net, train.Config{
+		Epochs:      cfg.Epochs,
+		BatchSize:   cfg.BatchSize,
+		Optimizer:   cfg.Optimizer,
+		LR:          cfg.LR,
+		Momentum:    cfg.Momentum,
+		WeightDecay: cfg.WeightDecay,
+		Schedule:    sched,
+		ClipNorm:    cfg.ClipNorm,
+		Seed:        cfg.Seed,
+		Hooks:       hooks,
+		GradAugment: cfg.GradAugment,
+	})
+}
+
+// TrainChecked optimizes the model on (trainX, trainY) with softmax
+// cross-entropy through the unified training engine. If testX is non-nil
+// the model is evaluated after every epoch (eval mode, locks in their
+// current state). Invalid data or configuration returns a typed error
+// (train.DataSizeError for sample/label mismatches).
+func TrainChecked(m *Model, trainX *tensor.Tensor, trainY []int, testX *tensor.Tensor, testY []int, cfg TrainConfig) (TrainResult, error) {
+	cfg = cfg.withDefaults()
+	tr, err := NewTrainer(m, cfg)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	if cfg.Resume != nil {
+		if err := tr.Restore(*cfg.Resume); err != nil {
+			return TrainResult{}, err
+		}
+	}
+	var eval func() float64
+	if testX != nil {
+		eval = func() float64 { return m.Accuracy(testX, testY, cfg.BatchSize) }
+	}
+	r, err := tr.Run(trainX, trainY, eval)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	res := TrainResult{EpochLoss: r.EpochLoss, TestAcc: r.TestAcc}
 	res.FinalTrainAcc = m.Accuracy(trainX, trainY, cfg.BatchSize)
+	return res, nil
+}
+
+// Train is TrainChecked panicking on error — the legacy shim kept for
+// callers that treat misconfiguration as a programming bug.
+func Train(m *Model, trainX *tensor.Tensor, trainY []int, testX *tensor.Tensor, testY []int, cfg TrainConfig) TrainResult {
+	res, err := TrainChecked(m, trainX, trainY, testX, testY, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return res
 }

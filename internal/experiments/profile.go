@@ -42,6 +42,10 @@ type Profile struct {
 	BatchSize   int
 	LR          float64
 	Momentum    float64
+	// Optimizer selects the update rule by name ("" or "sgd" is momentum
+	// SGD, "adam" is Adam); threaded through both the owner's training and
+	// the attacker's fine-tuning.
+	Optimizer string
 
 	// Fig3Keys is the number of random HPNN keys for the capacity study
 	// (the paper uses 20).

@@ -49,6 +49,7 @@ func ownerTrain(p Profile, logf Logf) core.TrainConfig {
 	return core.TrainConfig{
 		Epochs:    p.OwnerEpochs,
 		BatchSize: p.BatchSize,
+		Optimizer: p.Optimizer,
 		LR:        p.LR,
 		Momentum:  p.Momentum,
 		Seed:      p.Seed + 7,
@@ -62,6 +63,7 @@ func ftTrain(p Profile) core.TrainConfig {
 	return core.TrainConfig{
 		Epochs:    p.FTEpochs,
 		BatchSize: 16,
+		Optimizer: p.Optimizer,
 		LR:        p.LR,
 		Momentum:  p.Momentum,
 		Seed:      p.Seed + 13,

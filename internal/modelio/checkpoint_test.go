@@ -1,0 +1,196 @@
+package modelio
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/nn"
+	"hpnn/internal/rng"
+	"hpnn/internal/schedule"
+	"hpnn/internal/train"
+)
+
+// sampleState builds a representative trainer state with both slot shapes
+// (populated vectors and a never-touched empty slot).
+func sampleState() train.State {
+	return train.State{
+		NextEpoch: 3,
+		Seed:      42,
+		Schedule:  "step(0.05,every=2,factor=0.5)",
+		Optimizer: nn.OptState{
+			Kind: "sgd",
+			Slots: [][][]float64{
+				{{0.1, -0.2, 0.3}},
+				{}, // parameter whose slot was never allocated
+				{{1e-9, math.Pi}},
+			},
+		},
+		EpochLoss: []float64{2.31, 1.7, 0.9},
+		TestAcc:   []float64{0.2, 0.45, 0.6},
+	}
+}
+
+func lockedCheckpointModel(t testing.TB) *core.Model {
+	t.Helper()
+	m := core.MustModel(core.Config{Arch: core.MLP, InC: 1, InH: 8, InW: 8, Seed: 5})
+	m.ApplyRawKey(keys.Generate(rng.New(6)), schedule.New(keys.KeyBits, 7))
+	return m
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m := lockedCheckpointModel(t)
+	st := sampleState()
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m, st); err != nil {
+		t.Fatal(err)
+	}
+	back, got, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights round-trip exactly.
+	wantP, gotP := m.Net.Params(), back.Net.Params()
+	if len(wantP) != len(gotP) {
+		t.Fatalf("param count %d vs %d", len(gotP), len(wantP))
+	}
+	for i := range wantP {
+		for j := range wantP[i].Value.Data {
+			if math.Float64bits(wantP[i].Value.Data[j]) != math.Float64bits(gotP[i].Value.Data[j]) {
+				t.Fatalf("weight %d/%d not bitwise-preserved", i, j)
+			}
+		}
+	}
+	// Lock bits and engagement round-trip — the checkpoint is the owner's
+	// private artifact, unlike the published model format which strips them.
+	wantK, gotK := m.KeyBits(), back.KeyBits()
+	if len(wantK) != len(gotK) {
+		t.Fatalf("lock bit count %d vs %d", len(gotK), len(wantK))
+	}
+	anySet := false
+	for i := range wantK {
+		if wantK[i] != gotK[i] {
+			t.Fatalf("lock bit %d lost", i)
+		}
+		anySet = anySet || wantK[i] == 1
+	}
+	if !anySet {
+		t.Fatal("test key has no set bits — checkpoint lock coverage is vacuous")
+	}
+	for i, l := range back.Locks() {
+		if !l.Engaged {
+			t.Fatalf("lock %d engagement lost", i)
+		}
+	}
+	// Trainer state round-trips exactly.
+	if got.NextEpoch != st.NextEpoch || got.Seed != st.Seed || got.Schedule != st.Schedule {
+		t.Fatalf("state header mismatch: %+v", got)
+	}
+	if got.Optimizer.Kind != st.Optimizer.Kind || got.Optimizer.Step != st.Optimizer.Step {
+		t.Fatalf("optimizer header mismatch: %+v", got.Optimizer)
+	}
+	if len(got.Optimizer.Slots) != len(st.Optimizer.Slots) {
+		t.Fatalf("slot count %d vs %d", len(got.Optimizer.Slots), len(st.Optimizer.Slots))
+	}
+	for i, slot := range st.Optimizer.Slots {
+		if len(got.Optimizer.Slots[i]) != len(slot) {
+			t.Fatalf("slot %d vector count %d vs %d", i, len(got.Optimizer.Slots[i]), len(slot))
+		}
+		for j, vec := range slot {
+			for k, v := range vec {
+				if math.Float64bits(got.Optimizer.Slots[i][j][k]) != math.Float64bits(v) {
+					t.Fatalf("slot %d/%d/%d not bitwise-preserved", i, j, k)
+				}
+			}
+		}
+	}
+	for i, v := range st.EpochLoss {
+		if got.EpochLoss[i] != v {
+			t.Fatal("epoch-loss trajectory lost")
+		}
+	}
+	for i, v := range st.TestAcc {
+		if got.TestAcc[i] != v {
+			t.Fatal("test-acc trajectory lost")
+		}
+	}
+}
+
+func TestCheckpointFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	m := lockedCheckpointModel(t)
+	st := train.State{NextEpoch: 1, Seed: 9, Schedule: "const(0.05)"}
+	if err := SaveCheckpointFile(path, m, st); err != nil {
+		t.Fatal(err)
+	}
+	// No temporary file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temporary checkpoint file left behind: %v", err)
+	}
+	// Overwrite with a later epoch; the file must update in place.
+	st.NextEpoch = 2
+	if err := SaveCheckpointFile(path, m, st); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextEpoch != 2 {
+		t.Fatalf("checkpoint file holds epoch %d, want 2", got.NextEpoch)
+	}
+	// A save into an unwritable location fails without touching the
+	// previous good checkpoint.
+	if err := SaveCheckpointFile(filepath.Join(dir, "missing", "x.ckpt"), m, st); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+	if _, _, err := LoadCheckpointFile(path); err != nil {
+		t.Fatalf("previous checkpoint damaged by failed save: %v", err)
+	}
+}
+
+func TestCheckpointRejectsMalformed(t *testing.T) {
+	m := lockedCheckpointModel(t)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m, train.State{NextEpoch: 1, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    []byte("NOPE1234"),
+		"truncated":    valid[:len(valid)/3],
+		"half record":  valid[:len(valid)-9],
+		"bad version":  append(append([]byte{}, valid[:4]...), 0xFF, 0xFF, 0xFF, 0xFF),
+		"forged model": append(append([]byte{}, valid[:8]...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F),
+	}
+	for name, data := range cases {
+		if _, _, err := LoadCheckpoint(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: malformed checkpoint accepted", name)
+		}
+	}
+}
+
+func TestCheckpointLockMismatchRejected(t *testing.T) {
+	m := lockedCheckpointModel(t)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m, train.State{NextEpoch: 1, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the lock-count field: it sits right after the embedded model
+	// blob (4 magic + 4 version + 8 length + blob).
+	data := append([]byte(nil), buf.Bytes()...)
+	blobLen := int(uint64(data[8]) | uint64(data[9])<<8 | uint64(data[10])<<16 | uint64(data[11])<<24 |
+		uint64(data[12])<<32 | uint64(data[13])<<40 | uint64(data[14])<<48 | uint64(data[15])<<56)
+	off := 16 + blobLen
+	data[off] = 0x7F // lock count no longer matches the architecture
+	if _, _, err := LoadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("checkpoint with wrong lock count accepted")
+	}
+}

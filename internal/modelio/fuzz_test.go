@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"hpnn/internal/core"
+	"hpnn/internal/nn"
+	"hpnn/internal/train"
 )
 
 // FuzzLoad hardens the deserializer against malformed input: Load must
@@ -37,6 +39,52 @@ func FuzzLoad(f *testing.F) {
 		model, err := Load(bytes.NewReader(data))
 		if err == nil && model == nil {
 			t.Fatal("Load returned nil model without error")
+		}
+	})
+}
+
+// FuzzDecodeCheckpoint hardens the checkpoint decoder the same way:
+// LoadCheckpoint must return an error or a valid (model, state) pair —
+// never panic, hang, or allocate unboundedly — for arbitrary bytes. The
+// seed corpus is a valid checkpoint plus truncations and targeted
+// corruptions of the length and count fields.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	m := core.MustModel(core.Config{Arch: core.MLP, InC: 1, InH: 8, InW: 8, Seed: 1})
+	st := train.State{
+		NextEpoch: 2,
+		Seed:      7,
+		Schedule:  "step(0.05,every=2,factor=0.5)",
+		Optimizer: nn.OptState{Kind: "sgd", Slots: [][][]float64{{{0.5, -0.5}}, {}}},
+		EpochLoss: []float64{1.5, 1.0},
+		TestAcc:   []float64{0.3, 0.5},
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m, st); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("HPCK"))
+	f.Add(valid[:8])
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-4])
+	// Forged model-blob length.
+	forged := append([]byte(nil), valid[:8]...)
+	forged = append(forged, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	f.Add(forged)
+	// Corrupt a byte in the middle of the embedded model blob and in the
+	// trailing state section.
+	for _, off := range []int{20, len(valid) - 12} {
+		corrupt := append([]byte(nil), valid...)
+		corrupt[off] ^= 0xFF
+		f.Add(corrupt)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		model, _, err := LoadCheckpoint(bytes.NewReader(data))
+		if err == nil && model == nil {
+			t.Fatal("LoadCheckpoint returned nil model without error")
 		}
 	})
 }

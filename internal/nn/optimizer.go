@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"hpnn/internal/tensor"
@@ -15,6 +16,26 @@ type Optimizer interface {
 	SetLR(lr float64)
 	// LR returns the current learning rate.
 	LR() float64
+	// ExportState snapshots the optimizer's per-parameter slots (velocity,
+	// moments) aligned with params. The copy is deep, so a checkpoint taken
+	// mid-run is immune to later steps.
+	ExportState(params []*Param) OptState
+	// ImportState restores a snapshot taken by ExportState against the same
+	// parameter list (same order, same shapes). A resumed run continues the
+	// original update sequence bitwise.
+	ImportState(params []*Param, st OptState) error
+}
+
+// OptState is a portable snapshot of an optimizer's internal slots. Slots
+// is aligned with the parameter list handed to ExportState/ImportState:
+// Slots[i] holds the state vectors of params[i] — one vector (velocity)
+// for momentum SGD, two (first and second moments) for Adam, none before
+// the slot is first touched. It is the unit the modelio checkpoint format
+// serializes for resumable training.
+type OptState struct {
+	Kind  string        // "sgd" or "adam"
+	Step  int           // Adam's bias-correction counter; 0 for SGD
+	Slots [][][]float64 // per-param state vectors, possibly empty
 }
 
 // SGD is stochastic gradient descent with optional momentum and L2 weight
@@ -66,6 +87,49 @@ func (s *SGD) Step(params []*Param) {
 		}
 		p.ZeroGrad()
 	}
+}
+
+// ExportState implements Optimizer: one velocity vector per param (none
+// while momentum is unused or before the first step allocates it).
+func (s *SGD) ExportState(params []*Param) OptState {
+	st := OptState{Kind: "sgd", Slots: make([][][]float64, len(params))}
+	for i, p := range params {
+		if v := s.velocity[p]; v != nil {
+			st.Slots[i] = [][]float64{append([]float64(nil), v.Data...)}
+		}
+	}
+	return st
+}
+
+// ImportState implements Optimizer.
+func (s *SGD) ImportState(params []*Param, st OptState) error {
+	if st.Kind != "sgd" {
+		return fmt.Errorf("nn: cannot import %q optimizer state into SGD", st.Kind)
+	}
+	if len(st.Slots) != len(params) {
+		return fmt.Errorf("nn: SGD state has %d parameter slots, want %d", len(st.Slots), len(params))
+	}
+	for i, p := range params {
+		vecs := st.Slots[i]
+		if len(vecs) == 0 {
+			delete(s.velocity, p)
+			continue
+		}
+		if len(vecs) != 1 {
+			return fmt.Errorf("nn: SGD slot %d has %d vectors, want 1", i, len(vecs))
+		}
+		if len(vecs[0]) != p.Value.Len() {
+			return fmt.Errorf("nn: SGD slot %d sized %d, parameter %q needs %d",
+				i, len(vecs[0]), p.Name, p.Value.Len())
+		}
+		if s.velocity == nil {
+			s.velocity = make(map[*Param]*tensor.Tensor)
+		}
+		v := tensor.New(p.Value.Shape...)
+		copy(v.Data, vecs[0])
+		s.velocity[p] = v
+	}
+	return nil
 }
 
 // Adam is the Adam optimizer (Kingma & Ba) with bias correction.
@@ -120,6 +184,62 @@ func (a *Adam) Step(params []*Param) {
 		}
 		p.ZeroGrad()
 	}
+}
+
+// ExportState implements Optimizer: first and second moment vectors per
+// param plus the shared step counter driving bias correction.
+func (a *Adam) ExportState(params []*Param) OptState {
+	st := OptState{Kind: "adam", Step: a.t, Slots: make([][][]float64, len(params))}
+	for i, p := range params {
+		m, v := a.m[p], a.v[p]
+		if m == nil || v == nil {
+			continue
+		}
+		st.Slots[i] = [][]float64{
+			append([]float64(nil), m.Data...),
+			append([]float64(nil), v.Data...),
+		}
+	}
+	return st
+}
+
+// ImportState implements Optimizer.
+func (a *Adam) ImportState(params []*Param, st OptState) error {
+	if st.Kind != "adam" {
+		return fmt.Errorf("nn: cannot import %q optimizer state into Adam", st.Kind)
+	}
+	if len(st.Slots) != len(params) {
+		return fmt.Errorf("nn: Adam state has %d parameter slots, want %d", len(st.Slots), len(params))
+	}
+	if st.Step < 0 {
+		return fmt.Errorf("nn: Adam state has negative step count %d", st.Step)
+	}
+	a.t = st.Step
+	for i, p := range params {
+		vecs := st.Slots[i]
+		if len(vecs) == 0 {
+			delete(a.m, p)
+			delete(a.v, p)
+			continue
+		}
+		if len(vecs) != 2 {
+			return fmt.Errorf("nn: Adam slot %d has %d vectors, want 2 (m, v)", i, len(vecs))
+		}
+		if len(vecs[0]) != p.Value.Len() || len(vecs[1]) != p.Value.Len() {
+			return fmt.Errorf("nn: Adam slot %d sized %d/%d, parameter %q needs %d",
+				i, len(vecs[0]), len(vecs[1]), p.Name, p.Value.Len())
+		}
+		if a.m == nil {
+			a.m = make(map[*Param]*tensor.Tensor)
+			a.v = make(map[*Param]*tensor.Tensor)
+		}
+		m := tensor.New(p.Value.Shape...)
+		v := tensor.New(p.Value.Shape...)
+		copy(m.Data, vecs[0])
+		copy(v.Data, vecs[1])
+		a.m[p], a.v[p] = m, v
+	}
+	return nil
 }
 
 // ClipGradNorm rescales all gradients so their global L2 norm does not

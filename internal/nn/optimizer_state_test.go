@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"hpnn/internal/rng"
+)
+
+// stateNet builds a small two-layer net with deterministic weights for the
+// optimizer state roundtrip tests.
+func stateNet(seed uint64) *Network {
+	r := rng.New(seed)
+	return NewNetwork(
+		NewDense(4, 8).InitHe(r), NewReLU(),
+		NewDense(8, 3).InitHe(r),
+	)
+}
+
+// driveSteps runs k optimizer steps with a synthetic deterministic
+// gradient pattern (no forward/backward needed to exercise slot state).
+func driveSteps(net *Network, opt Optimizer, k int, seed uint64) {
+	r := rng.New(seed)
+	params := net.Params()
+	for s := 0; s < k; s++ {
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = r.NormScaled(0, 0.1)
+			}
+		}
+		opt.Step(params)
+	}
+}
+
+// weightsBits flattens all parameter values to raw float64 bit patterns so
+// equality checks are bitwise, not approximate.
+func weightsBits(net *Network) []uint64 {
+	var out []uint64
+	for _, p := range net.Params() {
+		for _, v := range p.Value.Data {
+			out = append(out, math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+// TestOptimizerStateRoundtrip: for each optimizer, run a steps, export the
+// state into a fresh optimizer on an identical network, then continue both
+// for b more steps with identical gradients — the two networks must agree
+// bitwise, proving ExportState/ImportState capture every slot.
+func TestOptimizerStateRoundtrip(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Optimizer
+	}{
+		{"momentum-sgd", func() Optimizer { return NewMomentumSGD(0.05, 0.9, 1e-4) }},
+		{"adam", func() Optimizer { return NewAdam(0.01) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			straight := stateNet(11)
+			optA := tc.mk()
+			driveSteps(straight, optA, 7, 21)
+			driveSteps(straight, optA, 5, 22)
+
+			resumed := stateNet(11)
+			optB := tc.mk()
+			driveSteps(resumed, optB, 7, 21)
+			st := optB.ExportState(resumed.Params())
+			optC := tc.mk()
+			if err := optC.ImportState(resumed.Params(), st); err != nil {
+				t.Fatal(err)
+			}
+			driveSteps(resumed, optC, 5, 22)
+
+			a, b := weightsBits(straight), weightsBits(resumed)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: weights diverge at scalar %d after state roundtrip", tc.name, i)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizerStateValidation: importing mismatched state fails loudly
+// instead of silently corrupting a resumed run.
+func TestOptimizerStateValidation(t *testing.T) {
+	net := stateNet(3)
+	params := net.Params()
+	sgd := NewMomentumSGD(0.1, 0.9, 0)
+	driveSteps(net, sgd, 2, 5)
+	st := sgd.ExportState(params)
+
+	if err := NewAdam(0.01).ImportState(params, st); err == nil {
+		t.Fatal("Adam accepted SGD state")
+	}
+	short := st
+	short.Slots = short.Slots[:1]
+	if err := NewMomentumSGD(0.1, 0.9, 0).ImportState(params, short); err == nil {
+		t.Fatal("slot count mismatch accepted")
+	}
+	bad := sgd.ExportState(params)
+	bad.Slots[0] = [][]float64{make([]float64, 1)}
+	if err := NewMomentumSGD(0.1, 0.9, 0).ImportState(params, bad); err == nil {
+		t.Fatal("vector size mismatch accepted")
+	}
+}
+
+// TestPlainSGDExportsEmptySlots: without momentum there is no slot state;
+// the snapshot must still roundtrip (fresh optimizer, empty slots).
+func TestPlainSGDExportsEmptySlots(t *testing.T) {
+	net := stateNet(9)
+	params := net.Params()
+	opt := NewSGD(0.1)
+	driveSteps(net, opt, 3, 7)
+	st := opt.ExportState(params)
+	for i, s := range st.Slots {
+		if len(s) != 0 {
+			t.Fatalf("plain SGD exported state vectors for slot %d", i)
+		}
+	}
+	if err := NewSGD(0.1).ImportState(params, st); err != nil {
+		t.Fatal(err)
+	}
+}

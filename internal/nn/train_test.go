@@ -46,7 +46,7 @@ func TestSGDLearnsXOR(t *testing.T) {
 	)
 	opt := NewMomentumSGD(0.1, 0.9, 0)
 	loss := SoftmaxCrossEntropy{}
-	for epoch := 0; epoch < 120; epoch++ {
+	for ep := 0; ep < 120; ep++ {
 		out := net.Forward(x, true)
 		_, g := loss.Loss(out, labels)
 		net.Backward(g)
@@ -66,7 +66,7 @@ func TestAdamLearnsXOR(t *testing.T) {
 	)
 	opt := NewAdam(0.01)
 	loss := SoftmaxCrossEntropy{}
-	for epoch := 0; epoch < 120; epoch++ {
+	for ep := 0; ep < 120; ep++ {
 		out := net.Forward(x, true)
 		_, g := loss.Loss(out, labels)
 		net.Backward(g)
@@ -110,7 +110,7 @@ func TestLockedTrainingCollapsesWithoutLock(t *testing.T) {
 	)
 	opt := NewMomentumSGD(0.1, 0.9, 0)
 	loss := SoftmaxCrossEntropy{}
-	for epoch := 0; epoch < 200; epoch++ {
+	for ep := 0; ep < 200; ep++ {
 		out := net.Forward(x, true)
 		_, g := loss.Loss(out, labels)
 		net.Backward(g)

@@ -1,0 +1,59 @@
+package train
+
+import (
+	"testing"
+
+	"hpnn/internal/dataset"
+)
+
+// TestStepZeroAlloc pins the Trainer's steady-state step at zero
+// allocations per step with no hooks installed — the refactor must not
+// regress the workspace execution engine's invariant. The first step
+// warms the loss-gradient buffer and layer scratch; everything after
+// reuses them.
+func TestStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented runtime allocates during the step")
+	}
+	x, y := blobData(11, 64)
+	tr, err := New(blobNet(11), Config{Epochs: 1, BatchSize: 16, LR: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := dataset.Batches(x, y, 16, ShuffleSeed(7, 0))
+	b := batches[0]
+	// Warm-up: allocate gradBuf and layer scratch.
+	for i := 0; i < 3; i++ {
+		tr.step(b, 0, i, 0.05)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		tr.step(b, 0, 0, 0.05)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state trainer step allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestStepZeroAllocAdam extends the pin to the Adam path: its moment
+// slots are lazily allocated on first use and reused thereafter.
+func TestStepZeroAllocAdam(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented runtime allocates during the step")
+	}
+	x, y := blobData(12, 64)
+	tr, err := New(blobNet(12), Config{Epochs: 1, BatchSize: 16, Optimizer: "adam", LR: 0.001, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := dataset.Batches(x, y, 16, ShuffleSeed(7, 0))
+	b := batches[0]
+	for i := 0; i < 3; i++ {
+		tr.step(b, 0, i, 0.001)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		tr.step(b, 0, 0, 0.001)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state adam step allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,89 @@
+package train
+
+import (
+	"testing"
+
+	"hpnn/internal/dataset"
+	"hpnn/internal/nn"
+	"hpnn/internal/tensor"
+)
+
+// The two benchmarks below measure what the Trainer abstraction costs per
+// epoch against the hand-inlined loop it replaced (identical math: same
+// shuffle, schedule, clipping, optimizer). EXPERIMENTS.md records the
+// measured overhead; the budget is ≤1% step time.
+
+func benchData(b *testing.B) (*tensor.Tensor, []int) {
+	b.Helper()
+	x, y := blobData(21, 256)
+	return x, y
+}
+
+func BenchmarkInlineStepLoop(b *testing.B) {
+	x, y := benchData(b)
+	net := blobNet(22)
+	opt := nn.NewMomentumSGD(0.05, 0.9, 1e-4)
+	loss := nn.SoftmaxCrossEntropy{}
+	params := net.Params()
+	var gradBuf *tensor.Tensor
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep := i % 4
+		opt.SetLR(nn.StepDecay(0.05, ep, 2, 0.5))
+		for _, bt := range dataset.Batches(x, y, 32, ShuffleSeed(23, ep)) {
+			out := net.Forward(bt.X, true)
+			_, g := loss.LossInto(gradBuf, out, bt.Y)
+			gradBuf = g
+			net.Backward(g)
+			nn.ClipGradNorm(params, 5)
+			opt.Step(params)
+		}
+	}
+}
+
+func BenchmarkTrainerEpoch(b *testing.B) {
+	x, y := benchData(b)
+	net := blobNet(22)
+	tr, err := New(net, Config{
+		Epochs: 1 << 30, BatchSize: 32, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4,
+		Schedule: StepDecay{Base: 0.05, Every: 2, Factor: 0.5}, Seed: 23,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep := i % 4
+		lr := tr.cfg.Schedule.LR(ep)
+		tr.opt.SetLR(lr)
+		for si, bt := range dataset.Batches(x, y, 32, ShuffleSeed(23, ep)) {
+			tr.step(bt, ep, si, lr)
+		}
+	}
+}
+
+// BenchmarkTrainerRun measures the full Run path — including epoch
+// bookkeeping, hook dispatch checks, and trajectory append — at one
+// epoch per iteration.
+func BenchmarkTrainerRun(b *testing.B) {
+	x, y := benchData(b)
+	net := blobNet(22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr, err := New(net, Config{
+			Epochs: 1, BatchSize: 32, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4,
+			Schedule: StepDecay{Base: 0.05, Every: 2, Factor: 0.5}, Seed: 23,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := tr.Run(x, y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

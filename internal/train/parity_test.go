@@ -1,0 +1,42 @@
+package train_test
+
+import (
+	"testing"
+
+	"hpnn/internal/core"
+)
+
+// TestAdamParity: the newly-wired Adam optimizer must be a usable
+// alternative to momentum SGD — on the synthetic MLP profile it reaches
+// at least SGD's test accuracy (small tolerance for run-to-run seed
+// variation). This pins satellite #2: nn.Adam is no longer dead code.
+func TestAdamParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training comparison skipped in -short")
+	}
+	ds := resumeData(t)
+	runWith := func(optimizer string, lr float64) float64 {
+		m, err := core.NewModel(core.Config{Arch: core.MLP, InC: 1, InH: 12, InW: 12, Seed: 90})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.TrainConfig{
+			Epochs: 12, BatchSize: 16, Optimizer: optimizer,
+			LR: lr, Momentum: 0.9, WeightDecay: 1e-4, Seed: 91,
+		}
+		res, err := core.TrainChecked(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestTestAcc()
+	}
+	sgd := runWith("sgd", 0.05)
+	adam := runWith("adam", 0.01)
+	t.Logf("best test acc: sgd %.4f, adam %.4f", sgd, adam)
+	if adam < sgd-0.05 {
+		t.Fatalf("adam best acc %.4f more than 0.05 below sgd %.4f", adam, sgd)
+	}
+	if adam < 0.5 {
+		t.Fatalf("adam best acc %.4f — optimizer not learning", adam)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package train
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package train
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumented runtime allocates and would distort the
+// allocation pin.
+const raceEnabled = true

@@ -1,0 +1,219 @@
+package train_test
+
+// Kill/resume determinism: a training run interrupted at epoch k and
+// resumed from its checkpoint must reproduce the uninterrupted run
+// BITWISE — identical final weights, identical lock bits, identical
+// test-accuracy trajectory. This is the acceptance bar for the Trainer's
+// Snapshot/Restore contract and the modelio checkpoint record, exercised
+// here end-to-end on a locked (key-engaged) model for both optimizers.
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"hpnn/internal/core"
+	"hpnn/internal/dataset"
+	"hpnn/internal/keys"
+	"hpnn/internal/modelio"
+	"hpnn/internal/rng"
+	"hpnn/internal/schedule"
+	"hpnn/internal/train"
+)
+
+// lockedModel builds the small locked MLP all resume tests share, with
+// the owner's key engaged so training runs the key-dependent backprop
+// path.
+func lockedModel(t *testing.T) *core.Model {
+	t.Helper()
+	m, err := core.NewModel(core.Config{Arch: core.MLP, InC: 1, InH: 12, InW: 12, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ApplyRawKey(keys.Generate(rng.New(78)), schedule.New(keys.KeyBits, 79))
+	return m
+}
+
+func resumeData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{Name: "fashion", TrainN: 80, TestN: 40, H: 12, W: 12, Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func modelBits(m *core.Model) []uint64 {
+	var out []uint64
+	for _, p := range m.Net.Params() {
+		for _, v := range p.Value.Data {
+			out = append(out, math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+func sameF64sBitwise(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func resumeTrainCfg(optimizer string) core.TrainConfig {
+	return core.TrainConfig{
+		Epochs: 6, BatchSize: 16, Optimizer: optimizer,
+		LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4,
+		LRDecayEvery: 2, LRDecayFactor: 0.5, Seed: 81,
+	}
+}
+
+func TestBitwiseResume(t *testing.T) {
+	for _, optimizer := range []string{"sgd", "adam"} {
+		t.Run(optimizer, func(t *testing.T) {
+			ds := resumeData(t)
+			cfg := resumeTrainCfg(optimizer)
+			const killAfter = 3 // epochs completed before the "crash"
+
+			// Reference: the uninterrupted run.
+			straight := lockedModel(t)
+			wantRes, err := core.TrainChecked(straight, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted run: checkpoint at every epoch boundary, kill
+			// after killAfter epochs.
+			ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+			killed := lockedModel(t)
+			killCfg := cfg
+			killCfg.Hooks.OnEpoch = func(info train.EpochInfo) bool {
+				if err := modelio.SaveCheckpointFile(ckpt, killed, info.Snapshot()); err != nil {
+					t.Fatalf("checkpoint write: %v", err)
+				}
+				return info.Epoch+1 < killAfter
+			}
+			if _, err := core.TrainChecked(killed, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, killCfg); err != nil {
+				t.Fatal(err)
+			}
+
+			// Resume from the checkpoint into a fresh process-equivalent:
+			// the model (weights + lock bits) and trainer state both come
+			// from the file.
+			resumed, st, err := modelio.LoadCheckpointFile(ckpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.NextEpoch != killAfter {
+				t.Fatalf("checkpoint resumes at epoch %d, want %d", st.NextEpoch, killAfter)
+			}
+			resumeCfg := cfg
+			resumeCfg.Resume = &st
+			gotRes, err := core.TrainChecked(resumed, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, resumeCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Bitwise-identical weights.
+			want, got := modelBits(straight), modelBits(resumed)
+			if len(want) != len(got) {
+				t.Fatalf("parameter count mismatch: %d vs %d", len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("resumed weights diverge at scalar %d", i)
+				}
+			}
+			// Identical lock bits (and still engaged).
+			wantKey, gotKey := straight.KeyBits(), resumed.KeyBits()
+			if len(wantKey) != len(gotKey) {
+				t.Fatalf("lock bit count mismatch: %d vs %d", len(wantKey), len(gotKey))
+			}
+			for i := range wantKey {
+				if wantKey[i] != gotKey[i] {
+					t.Fatalf("lock bits diverge at neuron %d", i)
+				}
+			}
+			// The resumed result carries the FULL trajectory — restored
+			// prefix plus post-resume epochs — identical to the straight run.
+			if !sameF64sBitwise(wantRes.TestAcc, gotRes.TestAcc) {
+				t.Fatalf("test-acc curves diverge:\nstraight %v\nresumed  %v", wantRes.TestAcc, gotRes.TestAcc)
+			}
+			if !sameF64sBitwise(wantRes.EpochLoss, gotRes.EpochLoss) {
+				t.Fatalf("loss curves diverge:\nstraight %v\nresumed  %v", wantRes.EpochLoss, gotRes.EpochLoss)
+			}
+		})
+	}
+}
+
+// TestResumeValidation: a checkpoint only restores into a compatible run —
+// wrong shuffle seed, wrong schedule, or an epoch cursor beyond the run
+// are rejected rather than silently producing a divergent continuation.
+func TestResumeValidation(t *testing.T) {
+	ds := resumeData(t)
+	cfg := resumeTrainCfg("sgd")
+	cfg.Epochs = 2
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	m := lockedModel(t)
+	cfg.Hooks.OnEpoch = func(info train.EpochInfo) bool {
+		if err := modelio.SaveCheckpointFile(ckpt, m, info.Snapshot()); err != nil {
+			t.Fatalf("checkpoint write: %v", err)
+		}
+		return true
+	}
+	if _, err := core.TrainChecked(m, ds.TrainX, ds.TrainY, nil, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	load := func() (*core.Model, train.State) {
+		t.Helper()
+		back, st, err := modelio.LoadCheckpointFile(ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return back, st
+	}
+	base := resumeTrainCfg("sgd")
+	base.Epochs = 2
+	base.Hooks = train.Hooks{}
+
+	wrongSeed := base
+	wrongSeed.Seed = 999
+	back, st := load()
+	wrongSeed.Resume = &st
+	if _, err := core.TrainChecked(back, ds.TrainX, ds.TrainY, nil, nil, wrongSeed); err == nil {
+		t.Fatal("resume with a different shuffle seed accepted")
+	}
+
+	wrongSched := base
+	wrongSched.Schedule = "cosine"
+	back, st = load()
+	wrongSched.Resume = &st
+	if _, err := core.TrainChecked(back, ds.TrainX, ds.TrainY, nil, nil, wrongSched); err == nil {
+		t.Fatal("resume with a different LR schedule accepted")
+	}
+
+	wrongOpt := base
+	wrongOpt.Optimizer = "adam"
+	back, st = load()
+	wrongOpt.Resume = &st
+	if _, err := core.TrainChecked(back, ds.TrainX, ds.TrainY, nil, nil, wrongOpt); err == nil {
+		t.Fatal("resume into a different optimizer accepted")
+	}
+
+	tooShort := base
+	tooShort.Epochs = 1
+	back, st = load()
+	tooShort.Resume = &st
+	if st.NextEpoch != 2 {
+		t.Fatalf("checkpoint at epoch %d, want 2", st.NextEpoch)
+	}
+	if _, err := core.TrainChecked(back, ds.TrainX, ds.TrainY, nil, nil, tooShort); err == nil {
+		t.Fatal("resume beyond the configured epoch count accepted")
+	}
+}

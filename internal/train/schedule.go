@@ -1,0 +1,98 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"hpnn/internal/nn"
+)
+
+// LRSchedule maps a 0-based epoch index to a learning rate. Schedules are
+// pure functions of the epoch, which is what makes a resumed run bitwise
+// identical to an uninterrupted one: the checkpoint only needs to record
+// the epoch position, not any schedule-internal state.
+//
+// String returns a stable descriptor recorded in checkpoints so that
+// resuming under different hyperparameters fails loudly instead of
+// silently continuing on the wrong curve.
+type LRSchedule interface {
+	LR(epoch int) float64
+	String() string
+}
+
+// Constant holds the learning rate fixed for the whole run.
+type Constant struct {
+	Base float64
+}
+
+// LR implements LRSchedule.
+func (c Constant) LR(int) float64 { return c.Base }
+
+// String implements LRSchedule.
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.Base) }
+
+// StepDecay multiplies the base rate by Factor every Every epochs — the
+// schedule of the paper's longer CNN runs. Every <= 0 disables decay.
+type StepDecay struct {
+	Base   float64
+	Every  int
+	Factor float64
+}
+
+// LR implements LRSchedule.
+func (s StepDecay) LR(epoch int) float64 {
+	return nn.StepDecay(s.Base, epoch, s.Every, s.Factor)
+}
+
+// String implements LRSchedule.
+func (s StepDecay) String() string {
+	return fmt.Sprintf("step(%g,every=%d,factor=%g)", s.Base, s.Every, s.Factor)
+}
+
+// Cosine anneals from Base to Min over Epochs epochs following half a
+// cosine period: LR(0) = Base, LR(Epochs-1) = Min, epochs beyond the
+// horizon stay at Min.
+type Cosine struct {
+	Base   float64
+	Min    float64
+	Epochs int
+}
+
+// LR implements LRSchedule.
+func (c Cosine) LR(epoch int) float64 {
+	if epoch <= 0 || c.Epochs <= 1 {
+		return c.Base
+	}
+	if epoch >= c.Epochs-1 {
+		return c.Min
+	}
+	frac := float64(epoch) / float64(c.Epochs-1)
+	return c.Min + 0.5*(c.Base-c.Min)*(1+math.Cos(math.Pi*frac))
+}
+
+// String implements LRSchedule.
+func (c Cosine) String() string {
+	return fmt.Sprintf("cosine(%g→%g,epochs=%d)", c.Base, c.Min, c.Epochs)
+}
+
+// LinearWarmup ramps linearly from Next.LR(0)/Epochs up to Next.LR(0)
+// over the first Epochs epochs, then hands off to Next with the epoch
+// index shifted so Next starts from its own epoch 0. The handoff is
+// continuous: LR(Epochs) == Next.LR(0).
+type LinearWarmup struct {
+	Epochs int
+	Next   LRSchedule
+}
+
+// LR implements LRSchedule.
+func (w LinearWarmup) LR(epoch int) float64 {
+	if w.Epochs > 0 && epoch < w.Epochs {
+		return w.Next.LR(0) * float64(epoch+1) / float64(w.Epochs)
+	}
+	return w.Next.LR(epoch - w.Epochs)
+}
+
+// String implements LRSchedule.
+func (w LinearWarmup) String() string {
+	return fmt.Sprintf("warmup(%d)+%s", w.Epochs, w.Next)
+}

@@ -1,0 +1,113 @@
+package train
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStepDecayBoundaries pins the step schedule at its edges: epoch 0,
+// decay disabled (Every = 0), and exact decay multiples.
+func TestStepDecayBoundaries(t *testing.T) {
+	s := StepDecay{Base: 0.1, Every: 2, Factor: 0.5}
+	if got := s.LR(0); got != 0.1 {
+		t.Fatalf("epoch 0: %v, want base", got)
+	}
+	if got := s.LR(1); got != 0.1 {
+		t.Fatalf("epoch 1 (below first boundary): %v, want base", got)
+	}
+	if got := s.LR(2); got != 0.05 {
+		t.Fatalf("epoch 2 (exact multiple): %v, want 0.05", got)
+	}
+	if got := s.LR(3); got != 0.05 {
+		t.Fatalf("epoch 3: %v, want 0.05", got)
+	}
+	if got := s.LR(4); math.Abs(got-0.025) > 1e-15 {
+		t.Fatalf("epoch 4 (second multiple): %v, want 0.025", got)
+	}
+
+	off := StepDecay{Base: 0.1, Every: 0, Factor: 0.5}
+	for _, e := range []int{0, 1, 7, 100} {
+		if got := off.LR(e); got != 0.1 {
+			t.Fatalf("decay-every=0 epoch %d: %v, want base", e, got)
+		}
+	}
+}
+
+// TestCosineEndpoints: the cosine schedule starts exactly at Base, ends
+// exactly at Min, decreases monotonically in between, and stays at Min
+// past its horizon.
+func TestCosineEndpoints(t *testing.T) {
+	c := Cosine{Base: 0.2, Min: 0.01, Epochs: 8}
+	if got := c.LR(0); got != 0.2 {
+		t.Fatalf("cosine start: %v, want base 0.2", got)
+	}
+	if got := c.LR(7); got != 0.01 {
+		t.Fatalf("cosine end: %v, want min 0.01", got)
+	}
+	if got := c.LR(100); got != 0.01 {
+		t.Fatalf("past horizon: %v, want min", got)
+	}
+	prev := c.LR(0)
+	for e := 1; e < 8; e++ {
+		cur := c.LR(e)
+		if cur >= prev {
+			t.Fatalf("cosine not strictly decreasing at epoch %d: %v >= %v", e, cur, prev)
+		}
+		prev = cur
+	}
+	// Midpoint of the half-period sits halfway between Base and Min.
+	mid := c.LR(3) + c.LR(4)
+	want := 0.2 + 0.01 // symmetric pair around the midpoint sums to Base+Min
+	if math.Abs(mid-want) > 1e-12 {
+		t.Fatalf("cosine symmetry broken: LR(3)+LR(4) = %v, want %v", mid, want)
+	}
+
+	// Degenerate horizons never divide by zero.
+	one := Cosine{Base: 0.2, Min: 0.01, Epochs: 1}
+	if got := one.LR(0); got != 0.2 {
+		t.Fatalf("1-epoch cosine: %v, want base", got)
+	}
+}
+
+// TestWarmupHandoff: the linear ramp reaches the wrapped schedule's
+// starting rate exactly at the handoff epoch, and the wrapped schedule
+// then proceeds from its own epoch 0.
+func TestWarmupHandoff(t *testing.T) {
+	base := StepDecay{Base: 0.1, Every: 2, Factor: 0.5}
+	w := LinearWarmup{Epochs: 4, Next: base}
+	for e := 0; e < 4; e++ {
+		want := 0.1 * float64(e+1) / 4
+		if got := w.LR(e); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("warmup epoch %d: %v, want %v", e, got, want)
+		}
+	}
+	if got := w.LR(4); got != base.LR(0) {
+		t.Fatalf("handoff: %v, want %v (Next.LR(0))", got, base.LR(0))
+	}
+	if got := w.LR(6); got != base.LR(2) {
+		t.Fatalf("post-handoff shift: LR(6)=%v, want Next.LR(2)=%v", got, base.LR(2))
+	}
+
+	// Warmup into cosine: ramp top equals the cosine start.
+	wc := LinearWarmup{Epochs: 2, Next: Cosine{Base: 0.3, Min: 0, Epochs: 6}}
+	if got := wc.LR(2); got != 0.3 {
+		t.Fatalf("warmup→cosine handoff: %v, want 0.3", got)
+	}
+	if got := wc.LR(7); got != 0 {
+		t.Fatalf("warmup→cosine endpoint: %v, want 0", got)
+	}
+}
+
+// TestScheduleDescriptors: descriptors are stable and distinguish
+// configurations — the property the checkpoint resume check relies on.
+func TestScheduleDescriptors(t *testing.T) {
+	a := StepDecay{Base: 0.1, Every: 2, Factor: 0.5}.String()
+	b := StepDecay{Base: 0.1, Every: 3, Factor: 0.5}.String()
+	if a == b {
+		t.Fatal("different step schedules share a descriptor")
+	}
+	w := LinearWarmup{Epochs: 2, Next: Cosine{Base: 0.3, Min: 0, Epochs: 6}}.String()
+	if w != "warmup(2)+cosine(0.3→0,epochs=6)" {
+		t.Fatalf("unexpected composite descriptor %q", w)
+	}
+}

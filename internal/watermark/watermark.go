@@ -19,7 +19,6 @@ import (
 	"math"
 
 	"hpnn/internal/core"
-	"hpnn/internal/dataset"
 	"hpnn/internal/nn"
 	"hpnn/internal/rng"
 	"hpnn/internal/tensor"
@@ -164,46 +163,19 @@ func (w *Mark) Detected(m *core.Model) (bool, float64, error) {
 }
 
 // TrainEmbedded trains the model on (x, y) while embedding the watermark:
-// the usual softmax cross-entropy loop with the projection regularizer
-// added to the carrier tensor's gradient each step.
+// the unified training engine with the projection regularizer installed
+// as a gradient-augmentation hook, adding λ·∂R/∂w to the carrier tensor's
+// gradient each step.
+//
+// Embedding used to run its own copy of the epoch loop with a divergent
+// shuffle-seed formula; it now shares the Trainer (and train.ShuffleSeed)
+// with owner training and the attacks, so identically-seeded runs shuffle
+// identically across all three paths. EXPERIMENTS.md records the
+// (intentional, seeded) watermark-curve change.
 func TrainEmbedded(m *core.Model, w *Mark, trainX *tensor.Tensor, trainY []int, testX *tensor.Tensor, testY []int, cfg core.TrainConfig) core.TrainResult {
-	params := m.Net.Params()
-	carrier := params[w.cfg.ParamIndex]
-	loss := nn.SoftmaxCrossEntropy{}
-	opt := nn.NewMomentumSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
-	// Loss-gradient buffer reused across steps, mirroring core.Train.
-	var gradBuf *tensor.Tensor
-	var res core.TrainResult
-	epochs := cfg.Epochs
-	if epochs == 0 {
-		epochs = 10
+	carrier := m.Net.Params()[w.cfg.ParamIndex]
+	cfg.GradAugment = func() float64 {
+		return w.cfg.Strength * w.regularize(carrier)
 	}
-	batch := cfg.BatchSize
-	if batch == 0 {
-		batch = 32
-	}
-	for epoch := 0; epoch < epochs; epoch++ {
-		batches := dataset.Batches(trainX, trainY, batch, cfg.Seed+uint64(epoch)*31+1)
-		epochLoss := 0.0
-		for _, b := range batches {
-			out := m.Net.Forward(b.X, true)
-			l, g := loss.LossInto(gradBuf, out, b.Y)
-			gradBuf = g
-			m.Net.Backward(g)
-			wmLoss := w.regularize(carrier)
-			nn.ClipGradNorm(params, 5)
-			opt.Step(params)
-			epochLoss += (l + w.cfg.Strength*wmLoss) * float64(len(b.Y))
-		}
-		res.EpochLoss = append(res.EpochLoss, epochLoss/float64(len(trainY)))
-		if testX != nil {
-			res.TestAcc = append(res.TestAcc, m.Accuracy(testX, testY, batch))
-			if cfg.Logf != nil {
-				cfg.Logf("epoch %2d  loss %.4f  test acc %.4f",
-					epoch+1, res.EpochLoss[epoch], res.TestAcc[epoch])
-			}
-		}
-	}
-	res.FinalTrainAcc = m.Accuracy(trainX, trainY, batch)
-	return res
+	return core.Train(m, trainX, trainY, testX, testY, cfg)
 }

@@ -8,7 +8,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/tensor/... ./internal/nn/... ./internal/serve/...
+go test -race ./internal/tensor/... ./internal/nn/... ./internal/serve/... ./internal/train/...
 # The accelerator's own concurrency surface (per-shard plans over one
 # shared model, zero-alloc PredictSample) — by name, so the gate skips the
 # tpu package's slow training suites.
@@ -17,3 +17,8 @@ go test -race -run 'TestServeConcurrentAccelerators|TestPredictSampleMatchesPred
 # cancellation) are scheduler-sensitive; repeat them to shake out
 # interleavings a single run can miss.
 go test -race -count=3 -run TestServe ./internal/serve/
+# Trainer engine determinism: kill/resume must reproduce the uninterrupted
+# run bitwise (both optimizers, locked model), and the checkpoint codec
+# must round-trip exactly. By name, so the gate stays fast.
+go test -race -run 'TestBitwiseResume|TestResumeValidation|TestTrainerMatchesInlineLoop' ./internal/train/
+go test -race -run 'TestCheckpoint' ./internal/modelio/
