@@ -99,7 +99,7 @@ func convFwdWorker(ctx any, i int) {
 	col := c.cols[i*colLen : (i+1)*colLen]
 	tensor.Im2ColSlice(col, c.fx[i*c.featIn:(i+1)*c.featIn], c.Geom)
 	out := c.fout[i*c.featOut : (i+1)*c.featOut]
-	matMulSlice(out, c.W.Value.Data, col, c.OutC, c.rows, c.pix)
+	tensor.MatMulSliceInto(out, c.W.Value.Data, col, c.OutC, c.rows, c.pix)
 	bd := c.B.Value.Data
 	for oc := 0; oc < c.OutC; oc++ {
 		row := out[oc*c.pix : (oc+1)*c.pix]
@@ -144,7 +144,7 @@ func convBwdWorker(ctx any, i int) {
 	col := c.cols[i*colLen : (i+1)*colLen]
 	gOut := c.fgrad[i*c.featOut : (i+1)*c.featOut]
 	// dW_i = gOut · colᵀ  -> [OutC, rows]
-	matMulNTSlice(c.dW[i*c.OutC*c.rows:(i+1)*c.OutC*c.rows], gOut, col, c.OutC, c.pix, c.rows)
+	tensor.MatMulNTSliceInto(c.dW[i*c.OutC*c.rows:(i+1)*c.OutC*c.rows], gOut, col, c.OutC, c.pix, c.rows)
 	dB := c.dB[i*c.OutC : (i+1)*c.OutC]
 	for oc := 0; oc < c.OutC; oc++ {
 		row := gOut[oc*c.pix : (oc+1)*c.pix]
@@ -155,63 +155,6 @@ func convBwdWorker(ctx any, i int) {
 		dB[oc] = s
 	}
 	// dcol = Wᵀ · gOut -> [rows, pix], overwriting col; scatter to image.
-	matMulTNSlice(col, c.W.Value.Data, gOut, c.OutC, c.rows, c.pix)
+	tensor.MatMulTNSliceInto(col, c.W.Value.Data, gOut, c.OutC, c.rows, c.pix)
 	tensor.Col2ImSlice(c.fdx[i*c.featIn:(i+1)*c.featIn], col, c.Geom)
-}
-
-// matMulSlice computes dst[m×n] = a[m×k]·b[k×n] serially on raw slices;
-// the convolution layer already parallelizes across the batch.
-func matMulSlice(dst, a, b []float64, m, k, n int) {
-	for i := 0; i < m; i++ {
-		crow := dst[i*n : (i+1)*n]
-		for x := range crow {
-			crow[x] = 0
-		}
-		arow := a[i*k : (i+1)*k]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-}
-
-// matMulNTSlice computes dst[m×n] = a[m×k]·b[n×k]ᵀ serially.
-func matMulNTSlice(dst, a, b []float64, m, k, n int) {
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := dst[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] = s
-		}
-	}
-}
-
-// matMulTNSlice computes dst[m×n] = a[k×m]ᵀ·b[k×n] serially.
-func matMulTNSlice(dst, a, b []float64, k, m, n int) {
-	for i := range dst[:m*n] {
-		dst[i] = 0
-	}
-	for p := 0; p < k; p++ {
-		arow := a[p*m : (p+1)*m]
-		brow := b[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := dst[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
 }

@@ -33,6 +33,23 @@ func TestKernelsZeroAllocSteadyState(t *testing.T) {
 	mustZeroAllocs(t, "MatVecInto", func() { MatVecInto(mv, a, v) })
 }
 
+// TestGEMMZeroAllocSteadyState pins the packed engine itself: shapes that
+// span several kc blocks (packing scratch grows once, then recycles), the
+// serial slice-level entry points used inside conv batch workers, and the
+// arena-backed Workspace.MatVec.
+func TestGEMMZeroAllocSteadyState(t *testing.T) {
+	a := benchTensor(33, 600)
+	bm := benchTensor(600, 41)
+	dst := New(33, 41)
+	sd := make([]float64, 33*41)
+	ws := NewWorkspace()
+	x := make([]float64, 600)
+
+	mustZeroAllocs(t, "MatMulInto multi-block", func() { MatMulInto(dst, a, bm) })
+	mustZeroAllocs(t, "MatMulSliceInto", func() { MatMulSliceInto(sd, a.Data, bm.Data, 33, 600, 41) })
+	mustZeroAllocs(t, "Workspace.MatVec", func() { ws.MatVec("y", a, x) })
+}
+
 func TestConvKernelsZeroAllocSteadyState(t *testing.T) {
 	g := ConvGeom{InC: 3, InH: 12, InW: 12, KH: 3, KW: 3, Stride: 1, Pad: 1}
 	img := New(3, 12, 12)

@@ -47,6 +47,86 @@ func BenchmarkMatMulNT128(b *testing.B) {
 	}
 }
 
+// gemmBenchCase is one blocked-vs-naive GEMM comparison point. The naive
+// kernels from matmul_ref.go are the "before" of the speedup trajectory
+// recorded by scripts/bench_gemm.sh; the blocked runs pin allocs at zero.
+type gemmBenchCase struct {
+	name    string
+	m, k, n int
+}
+
+// gemmBenchCases: square shapes for raw throughput (256³ is the headline
+// single-threaded acceptance point), skinny small-m shapes for the 2-D
+// tile-grid parallelism fix (rows-only partitioning collapses to serial
+// there), and a conv-backward-like slab.
+var gemmBenchCases = []gemmBenchCase{
+	{"square64", 64, 64, 64},
+	{"square128", 128, 128, 128},
+	{"square256", 256, 256, 256},
+	{"skinny4x256x256", 4, 256, 256},
+	{"skinny8x288x576", 8, 288, 576},
+}
+
+// BenchmarkGEMM measures the packed blocked kernel against the retained
+// naive reference, single-threaded (SetMaxWorkers(1)) so the comparison
+// isolates kernel quality from parallel speedup.
+func BenchmarkGEMM(b *testing.B) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	for _, c := range gemmBenchCases {
+		a := benchTensor(c.m, c.k)
+		bm := benchTensor(c.k, c.n)
+		dst := New(c.m, c.n)
+		b.Run("blocked/"+c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, a, bm)
+			}
+		})
+		b.Run("naive/"+c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				naiveMatMulSlice(dst.Data, a.Data, bm.Data, c.m, c.k, c.n)
+			}
+		})
+	}
+}
+
+// BenchmarkGEMMVariants covers the transposed entry points at the headline
+// shape; their naive counterparts bound the speedup from packing alone.
+func BenchmarkGEMMVariants(b *testing.B) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	const d = 256
+	a := benchTensor(d, d)
+	bm := benchTensor(d, d)
+	dst := New(d, d)
+	b.Run("blockedNT", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MatMulNTInto(dst, a, bm)
+		}
+	})
+	b.Run("naiveNT", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			naiveMatMulNTSlice(dst.Data, a.Data, bm.Data, d, d, d)
+		}
+	})
+	b.Run("blockedTN", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MatMulTNInto(dst, a, bm)
+		}
+	})
+	b.Run("naiveTN", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			naiveMatMulTNSlice(dst.Data, a.Data, bm.Data, d, d, d)
+		}
+	})
+}
+
 func BenchmarkIm2Col(b *testing.B) {
 	img := New(16, 32, 32)
 	img.FillNorm(rng.New(2), 0, 1)

@@ -1,0 +1,131 @@
+// AVX2+FMA micro-kernel for the packed blocked GEMM engine (gemm.go).
+//
+// gemmMicroFMA computes the 4×8 accumulator tile
+//
+//	acc[r][c] = Σ_p ap[p*4+r] · bp[p*8+c]
+//
+// over kc packed columns. The eight YMM accumulators (Y0..Y7: row r in
+// Y(2r) cols 0-3 and Y(2r+1) cols 4-7) stay resident for the whole loop;
+// each packed column costs two 4-wide loads of bp, four broadcasts of ap
+// lanes, and eight fused multiply-adds — FMA-throughput-bound on any
+// core with two FMA ports. p advances in ascending order, one lane per
+// output element, so the summation order matches the scalar fallback and
+// results are deterministic for a fixed kernel choice.
+
+#include "textflag.h"
+
+// func gemmMicroFMA(ap, bp *float64, kc int, acc *[32]float64)
+TEXT ·gemmMicroFMA(SB), NOSPLIT, $0-32
+	MOVQ ap+0(FP), DI
+	MOVQ bp+8(FP), SI
+	MOVQ kc+16(FP), CX
+	MOVQ acc+24(FP), DX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	MOVQ CX, BX
+	SHRQ $1, CX   // unrolled 2×: CX counts column pairs, BX keeps parity
+	JZ   tail
+
+loop:
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (DI), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 8(DI), Y11
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 16(DI), Y12
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VBROADCASTSD 24(DI), Y13
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+
+	VMOVUPD      64(SI), Y8
+	VMOVUPD      96(SI), Y9
+	VBROADCASTSD 32(DI), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 40(DI), Y11
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 48(DI), Y12
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VBROADCASTSD 56(DI), Y13
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+
+	ADDQ $64, DI
+	ADDQ $128, SI
+	DECQ CX
+	JNE  loop
+
+tail:
+	ANDQ $1, BX
+	JZ   store
+
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (DI), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 8(DI), Y11
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 16(DI), Y12
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VBROADCASTSD 24(DI), Y13
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+
+store:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VMOVUPD Y4, 128(DX)
+	VMOVUPD Y5, 160(DX)
+	VMOVUPD Y6, 192(DX)
+	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func gemmCPUSupportsFMA() bool
+//
+// True when the CPU reports FMA, AVX and AVX2 and the OS has enabled
+// XMM+YMM state saving (OSXSAVE set and XCR0 bits 1-2 set). Checked once
+// at package init; the kernel choice never changes afterwards.
+TEXT ·gemmCPUSupportsFMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<12 | 1<<27 | 1<<28), CX   // FMA, OSXSAVE, AVX
+	CMPL CX, $(1<<12 | 1<<27 | 1<<28)
+	JNE  nofma
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	BTL  $5, BX                         // AVX2
+	JCC  nofma
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX                         // XCR0: XMM and YMM state enabled
+	CMPL AX, $6
+	JNE  nofma
+	MOVB $1, ret+0(FP)
+	RET
+
+nofma:
+	MOVB $0, ret+0(FP)
+	RET

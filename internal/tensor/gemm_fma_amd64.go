@@ -1,0 +1,12 @@
+package tensor
+
+// gemmMicroFMA is the AVX2+FMA micro-kernel in gemm_amd64.s: it computes
+// the full padded gemmMR×gemmNR accumulator tile over kc packed panel
+// columns. Only called when gemmCPUSupportsFMA reported support.
+//
+//go:noescape
+func gemmMicroFMA(ap, bp *float64, kc int, acc *[gemmMR * gemmNR]float64)
+
+// gemmCPUSupportsFMA reports whether the CPU and OS support the AVX2+FMA
+// micro-kernel (CPUID feature bits plus XGETBV-visible YMM state).
+func gemmCPUSupportsFMA() bool

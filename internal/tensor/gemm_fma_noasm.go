@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always use the portable micro-kernel.
+func gemmCPUSupportsFMA() bool { return false }
+
+// gemmMicroFMA is never called when gemmCPUSupportsFMA returns false; the
+// stub exists so gemm.go compiles on every architecture.
+func gemmMicroFMA(ap, bp *float64, kc int, acc *[gemmMR * gemmNR]float64) {
+	panic("tensor: gemmMicroFMA called without FMA support")
+}

@@ -2,12 +2,15 @@ package tensor
 
 import "fmt"
 
-// The GEMM kernels dispatch through ParallelKernel with top-level worker
-// functions, so a steady-state call allocates nothing: operand views travel
-// in a KernelArgs value copied into the worker pool, not in a closure.
+// The tensor-level matrix products validate shapes and lower onto the
+// packed, cache-blocked GEMM engine in gemm.go, which parallelizes over
+// the 2-D output tile grid. That grid is what keeps small-m products —
+// per-sample convolution-backward slices, small-batch dense layers — from
+// collapsing to a serial kernel the way the old rows-only partitioning
+// did. Slice-level serial entry points for callers that own their own
+// parallelism (MatMulSliceInto and friends) live alongside the engine.
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n).
-// Rows of the result are computed in parallel.
 func MatMul(a, b *Tensor) *Tensor {
 	m, _ := dims2(a, "MatMul lhs")
 	_, n := dims2(b, "MatMul rhs")
@@ -24,26 +27,8 @@ func MatMulInto(dst, a, b *Tensor) *Tensor {
 	if len(dst.Data) != m*n {
 		panic("tensor: MatMulInto destination size mismatch")
 	}
-	ParallelKernel(m, &KernelArgs{Dst: dst.Data, A: a.Data, B: b.Data, N: n, K: k}, matMulRow)
+	gemmRun(dst.Data, a.Data, b.Data, m, n, k, gemmNN, true)
 	return dst
-}
-
-func matMulRow(g *KernelArgs, i int) {
-	n, k := g.N, g.K
-	crow := g.Dst[i*n : (i+1)*n]
-	for x := range crow {
-		crow[x] = 0
-	}
-	arow := g.A[i*k : (i+1)*k]
-	for p, av := range arow {
-		if av == 0 {
-			continue
-		}
-		brow := g.B[p*n : (p+1)*n]
-		for j, bv := range brow {
-			crow[j] += av * bv
-		}
-	}
 }
 
 // MatMulNT computes C = A·Bᵀ where A is m×k and B is n×k.
@@ -63,22 +48,8 @@ func MatMulNTInto(dst, a, b *Tensor) *Tensor {
 	if len(dst.Data) != m*n {
 		panic("tensor: MatMulNTInto destination size mismatch")
 	}
-	ParallelKernel(m, &KernelArgs{Dst: dst.Data, A: a.Data, B: b.Data, N: n, K: k}, matMulNTRow)
+	gemmRun(dst.Data, a.Data, b.Data, m, n, k, gemmNT, true)
 	return dst
-}
-
-func matMulNTRow(g *KernelArgs, i int) {
-	n, k := g.N, g.K
-	arow := g.A[i*k : (i+1)*k]
-	crow := g.Dst[i*n : (i+1)*n]
-	for j := 0; j < n; j++ {
-		brow := g.B[j*k : (j+1)*k]
-		s := 0.0
-		for p, av := range arow {
-			s += av * brow[p]
-		}
-		crow[j] = s
-	}
 }
 
 // MatMulTN computes C = Aᵀ·B where A is k×m and B is k×n.
@@ -98,26 +69,8 @@ func MatMulTNInto(dst, a, b *Tensor) *Tensor {
 	if len(dst.Data) != m*n {
 		panic("tensor: MatMulTNInto destination size mismatch")
 	}
-	ParallelKernel(m, &KernelArgs{Dst: dst.Data, A: a.Data, B: b.Data, M: m, N: n, K: k}, matMulTNRow)
+	gemmRun(dst.Data, a.Data, b.Data, m, n, k, gemmTN, true)
 	return dst
-}
-
-func matMulTNRow(g *KernelArgs, i int) {
-	m, n, k := g.M, g.N, g.K
-	crow := g.Dst[i*n : (i+1)*n]
-	for x := range crow {
-		crow[x] = 0
-	}
-	for p := 0; p < k; p++ {
-		av := g.A[p*m+i]
-		if av == 0 {
-			continue
-		}
-		brow := g.B[p*n : (p+1)*n]
-		for j, bv := range brow {
-			crow[j] += av * bv
-		}
-	}
 }
 
 // Transpose returns Aᵀ for a 2-D tensor.
@@ -142,7 +95,9 @@ func TransposeInto(dst, a *Tensor) *Tensor {
 	return dst
 }
 
-// MatVec computes y = A·x for A m×k and x of length k.
+// MatVec computes y = A·x for A m×k and x of length k. It allocates the
+// result on every call; hot paths should use MatVecInto with caller-owned
+// storage or Workspace.MatVec with an arena-backed buffer.
 func MatVec(a *Tensor, x []float64) []float64 {
 	m, _ := dims2(a, "MatVec")
 	y := make([]float64, m)
@@ -159,17 +114,18 @@ func MatVecInto(y []float64, a *Tensor, x []float64) {
 	if len(y) != m {
 		panic(fmt.Sprintf("tensor: MatVec destination length %d != %d", len(y), m))
 	}
-	ParallelKernel(m, &KernelArgs{Dst: y, A: a.Data, B: x, K: k}, matVecRow)
+	gemmRun(y, a.Data, x, m, 1, k, gemmNN, true)
 }
 
-func matVecRow(g *KernelArgs, i int) {
-	k := g.K
-	row := g.A[i*k : (i+1)*k]
-	s := 0.0
-	for p, av := range row {
-		s += av * g.B[p]
-	}
-	g.Dst[i] = s
+// MatVec computes y = A·x into the workspace buffer named key, returning
+// the buffer's storage. It is the allocation-free counterpart of the
+// package-level MatVec for steady-state callers (the watermark
+// regularizer evaluates two of these per optimizer step).
+func (w *Workspace) MatVec(key string, a *Tensor, x []float64) []float64 {
+	m, _ := dims2(a, "MatVec")
+	y := w.Get(key, m)
+	MatVecInto(y.Data, a, x)
+	return y.Data
 }
 
 func dims2(t *Tensor, what string) (int, int) {

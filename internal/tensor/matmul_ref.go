@@ -1,0 +1,67 @@
+package tensor
+
+// Naive reference GEMM kernels, retained after the packed blocked engine
+// replaced them on the hot path. They are the ground truth for the
+// property tests (randomized blocked-vs-naive comparisons over edge
+// shapes) and the "before" baseline for the speedup benchmarks in
+// bench_test.go and scripts/bench_gemm.sh. Nothing in the library routes
+// through them.
+
+// naiveMatMulSlice computes dst[m×n] = a[m×k]·b[k×n] with the original
+// row-at-a-time axpy kernel.
+func naiveMatMulSlice(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		crow := dst[i*n : (i+1)*n]
+		for x := range crow {
+			crow[x] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// naiveMatMulNTSlice computes dst[m×n] = a[m×k]·b[n×k]ᵀ with the original
+// dot-product kernel.
+func naiveMatMulNTSlice(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// naiveMatMulTNSlice computes dst[m×n] = a[k×m]ᵀ·b[k×n] with the original
+// rank-1-update kernel.
+func naiveMatMulTNSlice(dst, a, b []float64, k, m, n int) {
+	for i := range dst[:m*n] {
+		dst[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := dst[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}

@@ -32,9 +32,16 @@ func MaxWorkers() int { return int(maxWorkers.Load()) }
 // capturing closure, so dispatching a kernel performs no heap allocation:
 // the pool copies the struct by value into its own stable storage before
 // waking workers.
+//
+// Off and Flag exist for the blocked GEMM engine: Off is the current
+// kc-block's offset into the shared dimension (the packing routines read
+// source columns/rows starting there) and Flag marks the first block,
+// whose tiles overwrite the destination instead of accumulating.
 type KernelArgs struct {
 	Dst, A, B []float64
 	M, N, K   int
+	Off       int
+	Flag      bool
 }
 
 // workerPool runs parallel regions on a set of persistent goroutines.

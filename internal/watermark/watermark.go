@@ -54,6 +54,10 @@ type Mark struct {
 	cfg        Config
 	signature  []byte
 	projection *tensor.Tensor // [Bits, paramLen]
+	// ws holds the projection responses (z) and their gradient (dz):
+	// regularize runs once per optimizer step, so its scratch is arena-
+	// backed rather than reallocated per call.
+	ws *tensor.Workspace
 }
 
 // New derives a signature and projection for the given model and config.
@@ -80,7 +84,7 @@ func New(m *core.Model, cfg Config) (*Mark, error) {
 	}
 	proj := tensor.New(cfg.Bits, p.Value.Len())
 	proj.FillNorm(r, 0, 1/math.Sqrt(float64(p.Value.Len())))
-	return &Mark{cfg: cfg, signature: sig, projection: proj}, nil
+	return &Mark{cfg: cfg, signature: sig, projection: proj, ws: tensor.NewWorkspace()}, nil
 }
 
 // Signature returns a copy of the embedded bits.
@@ -89,12 +93,12 @@ func (w *Mark) Signature() []byte { return append([]byte(nil), w.signature...) }
 // regularize adds λ·∂R/∂w to the carrier tensor's gradient, where
 // R = BCE(σ(X·w), signature), and returns R.
 func (w *Mark) regularize(p *nn.Param) float64 {
-	z := tensor.MatVec(w.projection, p.Value.Data)
+	z := w.ws.MatVec("wm.z", w.projection, p.Value.Data)
 	loss := 0.0
 	bits := float64(len(z))
 	// dR/dz_i = σ(z_i) − b_i (per-bit, not averaged: averaging makes the
 	// embedding force vanish against the task gradient); dR/dw = Xᵀ dR/dz.
-	dz := make([]float64, len(z))
+	dz := w.ws.Get("wm.dz", len(z)).Data
 	for i, v := range z {
 		s := 1 / (1 + math.Exp(-v))
 		b := float64(w.signature[i])
@@ -128,7 +132,7 @@ func (w *Mark) Extract(m *core.Model) ([]byte, error) {
 		return nil, fmt.Errorf("watermark: carrier size %d does not match projection %d",
 			p.Value.Len(), w.projection.Shape[1])
 	}
-	z := tensor.MatVec(w.projection, p.Value.Data)
+	z := w.ws.MatVec("wm.z", w.projection, p.Value.Data)
 	bits := make([]byte, len(z))
 	for i, v := range z {
 		if v > 0 {

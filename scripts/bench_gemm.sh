@@ -1,0 +1,58 @@
+#!/bin/sh
+# GEMM speedup tracker: runs the blocked-vs-naive micro-benchmarks
+# (internal/tensor) and the CNN1 train-step macro-benchmark (internal/nn),
+# then emits machine-readable results/BENCH_gemm.json with ns/op for every
+# benchmark and a naive/blocked speedup ratio per paired case. The naive
+# kernels retained in matmul_ref.go are the fixed "before" baseline, so
+# the ratios stay meaningful as the blocked engine evolves.
+#
+# BENCHTIME=2s scripts/bench_gemm.sh   # longer runs for stable numbers
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1s}"
+out=results/BENCH_gemm.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkGEMM$|BenchmarkGEMMVariants$' \
+	-benchtime "$benchtime" ./internal/tensor/ | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkCNN1TrainStep$' \
+	-benchtime "$benchtime" ./internal/nn/ | tee -a "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	ns[name] = $3
+	order[++n] = name
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"benchtime\": \"%s\",\n", "'"$benchtime"'"
+	printf "  \"ns_per_op\": {\n"
+	for (i = 1; i <= n; i++)
+		printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n ? "," : "")
+	printf "  },\n"
+	m = 0
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		if (name ~ /blocked/) {
+			ref = name
+			sub(/blocked/, "naive", ref)
+			if (ref in ns) pairs[++m] = name
+		}
+	}
+	printf "  \"speedup_naive_over_blocked\": {\n"
+	for (i = 1; i <= m; i++) {
+		name = pairs[i]
+		ref = name
+		sub(/blocked/, "naive", ref)
+		printf "    \"%s\": %.2f%s\n", name, ns[ref] / ns[name], (i < m ? "," : "")
+	}
+	printf "  }\n}\n"
+}' "$tmp" >"$out"
+
+echo "wrote $out"

@@ -22,3 +22,7 @@ go test -race -count=3 -run TestServe ./internal/serve/
 # must round-trip exactly. By name, so the gate stays fast.
 go test -race -run 'TestBitwiseResume|TestResumeValidation|TestTrainerMatchesInlineLoop' ./internal/train/
 go test -race -run 'TestCheckpoint' ./internal/modelio/
+# Packed GEMM engine invariants under the race detector: worker-count
+# independence (bitwise) and the zero-alloc steady-state pin for the
+# pooled packing scratch. By name, so the gate stays fast.
+go test -race -run 'TestGEMMDeterministicAcrossWorkers|TestGEMMZeroAllocSteadyState|TestGEMMMatchesNaive' ./internal/tensor/
