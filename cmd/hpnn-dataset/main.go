@@ -49,7 +49,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := ds.WriteContactSheet(f, *perClass); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

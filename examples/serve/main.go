@@ -44,6 +44,7 @@ func main() {
 	correct := make([]int, 8)
 	for c := 0; c < 8; c++ {
 		wg.Add(1)
+		//hpnn:allow(gofunc) example client fan-out, joined via the WaitGroup below
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config names the package sets each check applies to. Patterns are import
+// paths, with a trailing "/..." matching any subpackage. The defaults encode
+// the repo's invariants; tests substitute their fixture package paths.
+type Config struct {
+	// MapRangePkgs restricts `for range` over maps (iteration order is
+	// randomized, so a bare map range in a compute package breaks bitwise
+	// reproducibility).
+	MapRangePkgs []string
+	// RandAllowPkgs may import math/rand; everywhere else must use the
+	// deterministic internal/rng generators.
+	RandAllowPkgs []string
+	// TimeAllowPkgs may call time.Now/time.Since; wall-clock reads anywhere
+	// else make key-dependent computation irreproducible.
+	TimeAllowPkgs []string
+	// GoStmtAllowPkgs may contain raw `go` statements; all other
+	// parallelism must route through the tensor worker pool.
+	GoStmtAllowPkgs []string
+	// ErrcheckPkgs must not silently discard error returns.
+	ErrcheckPkgs []string
+	// NoAllocSuffixes name function-name suffixes that imply the
+	// zero-allocation contract, in addition to //hpnn:noalloc annotations.
+	NoAllocSuffixes []string
+}
+
+// DefaultConfig returns the repo's invariant configuration.
+func DefaultConfig() Config {
+	return Config{
+		MapRangePkgs: []string{
+			"hpnn/internal/tensor", "hpnn/internal/nn", "hpnn/internal/tpu",
+			"hpnn/internal/train", "hpnn/internal/core", "hpnn/internal/watermark",
+			"hpnn/internal/modelio",
+		},
+		RandAllowPkgs: []string{"hpnn/internal/rng"},
+		TimeAllowPkgs: []string{
+			"hpnn/internal/serve", "hpnn/internal/train", "hpnn/internal/cryptobase",
+		},
+		GoStmtAllowPkgs: []string{"hpnn/internal/tensor", "hpnn/internal/serve"},
+		ErrcheckPkgs: []string{
+			"hpnn/cmd/...", "hpnn/internal/modelio", "hpnn/internal/serve",
+		},
+		NoAllocSuffixes: []string{"Into", "SliceInto"},
+	}
+}
+
+// matchPkg reports whether the import path matches any pattern; a pattern
+// ending in "/..." matches the prefix and every subpackage.
+func matchPkg(path string, patterns []string) bool {
+	for _, pat := range patterns {
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if path == prefix || strings.HasPrefix(path, prefix+"/") {
+				return true
+			}
+		} else if path == pat {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding: a position, the check that produced it, and a
+// human-readable message.
+type Diagnostic struct {
+	File    string `json:"file"` // module-root-relative path
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Check is one named invariant pass over the whole program.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, report func(pos token.Pos, format string, args ...any))
+}
+
+// Checks returns the full registry in stable order.
+func Checks() []Check {
+	return []Check{
+		{Name: "noalloc", Doc: "zero-allocation contract for *Into kernels, //hpnn:noalloc functions, and everything they statically call", Run: runNoAlloc},
+		{Name: "determinism", Doc: "no map-order iteration in compute packages, no math/rand outside internal/rng, no wall-clock reads outside serve/train/cryptobase", Run: runDeterminism},
+		{Name: "gofunc", Doc: "raw go statements only in the tensor worker pool and the serving layer", Run: runGoFunc},
+		{Name: "errcheck", Doc: "no silently discarded error returns in cmd/*, modelio, and serve", Run: runErrcheck},
+		{Name: "seal", Doc: "no Workspace getter calls lexically after Seal() on the same receiver", Run: runSeal},
+	}
+}
+
+// CheckNames returns the registered check names in stable order.
+func CheckNames() []string {
+	var names []string
+	for _, c := range Checks() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// Lint runs the selected checks (all registered checks when names is empty)
+// over the program and returns the surviving diagnostics sorted by position.
+// Findings carrying a per-line `//hpnn:allow(<check>)` suppression — on the
+// flagged line or the line directly above it — are dropped.
+func Lint(prog *Program, names ...string) ([]Diagnostic, error) {
+	selected := Checks()
+	if len(names) > 0 {
+		byName := make(map[string]Check)
+		for _, c := range Checks() {
+			byName[c.Name] = c
+		}
+		selected = selected[:0]
+		for _, n := range names {
+			c, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("analysis: unknown check %q (have %s)", n, strings.Join(CheckNames(), ", "))
+			}
+			selected = append(selected, c)
+		}
+	}
+
+	allow := collectAllows(prog)
+	var diags []Diagnostic
+	for _, c := range selected {
+		check := c
+		check.Run(prog, func(pos token.Pos, format string, args ...any) {
+			p := prog.Fset.Position(pos)
+			file := p.Filename
+			if rel, err := filepath.Rel(prog.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+			if allow.suppressed(file, p.Line, check.Name) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				File: file, Line: p.Line, Col: p.Column,
+				Check: check.Name, Message: fmt.Sprintf(format, args...),
+			})
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}
+
+// allowSet maps file -> line -> set of check names suppressed on that line.
+type allowSet map[string]map[int]map[string]bool
+
+// at reports whether a finding at pos would be suppressed for check.
+func (a allowSet) at(prog *Program, pos token.Pos, check string) bool {
+	p := prog.Fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(prog.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return a.suppressed(file, p.Line, check)
+}
+
+// suppressed reports whether a finding on (file, line) is covered by an
+// allow comment on the same line or the line immediately above.
+func (a allowSet) suppressed(file string, line int, check string) bool {
+	lines := a[file]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{line, line - 1} {
+		if checks := lines[l]; checks != nil && (checks[check] || checks["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows scans every comment in the program for the suppression
+// marker `//hpnn:allow(check1,check2) optional reason`.
+func collectAllows(prog *Program) allowSet {
+	set := make(allowSet)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					p := prog.Fset.Position(c.Pos())
+					file := p.Filename
+					if rel, err := filepath.Rel(prog.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+						file = filepath.ToSlash(rel)
+					}
+					if set[file] == nil {
+						set[file] = make(map[int]map[string]bool)
+					}
+					if set[file][p.Line] == nil {
+						set[file][p.Line] = make(map[string]bool)
+					}
+					for _, n := range names {
+						set[file][p.Line][n] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseAllow extracts check names from one `//hpnn:allow(a,b)` comment.
+func parseAllow(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//hpnn:allow(")
+	if !ok {
+		return nil, false
+	}
+	list, _, ok := strings.Cut(rest, ")")
+	if !ok {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// funcHasAnnotation reports whether the function declaration carries the
+// given `//hpnn:<marker>` annotation in its doc comment or on the line
+// directly above it.
+func funcHasAnnotation(prog *Program, f *ast.File, decl *ast.FuncDecl, marker string) bool {
+	want := "//hpnn:" + marker
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if text, ok := strings.CutPrefix(c.Text, want); ok && (text == "" || text[0] == ' ') {
+				return true
+			}
+		}
+	}
+	declLine := prog.Fset.Position(decl.Pos()).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if prog.Fset.Position(c.Pos()).Line != declLine-1 {
+				continue
+			}
+			if text, ok := strings.CutPrefix(c.Text, want); ok && (text == "" || text[0] == ' ') {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// runDeterminism enforces the bitwise-reproducibility invariants that HPNN's
+// security argument depends on (key-dependent backprop and the locked TPU
+// path must replay exactly):
+//
+//   - no `for range` over a map type inside the compute packages — map
+//     iteration order is randomized per run; sort the keys first or suppress
+//     with //hpnn:allow(determinism) when the loop is provably
+//     order-independent (sums, full clears);
+//   - no math/rand (v1 or v2) import outside the seeded internal/rng
+//     generators;
+//   - no time.Now / time.Since outside the serving, training-telemetry, and
+//     crypto-benchmark packages (and tests, which are never loaded).
+func runDeterminism(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	for _, pkg := range prog.Pkgs {
+		mapRangeRestricted := matchPkg(pkg.Path, prog.Config.MapRangePkgs)
+		randAllowed := matchPkg(pkg.Path, prog.Config.RandAllowPkgs)
+		timeAllowed := matchPkg(pkg.Path, prog.Config.TimeAllowPkgs)
+
+		for _, file := range pkg.Files {
+			if !randAllowed {
+				for _, imp := range file.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if path == "math/rand" || path == "math/rand/v2" {
+						report(imp.Pos(), "import of %s outside internal/rng: use the seeded deterministic generators", path)
+					}
+				}
+			}
+			if !mapRangeRestricted && timeAllowed {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.RangeStmt:
+					if !mapRangeRestricted {
+						return true
+					}
+					if _, isMap := pkg.Info.TypeOf(node.X).Underlying().(*types.Map); isMap {
+						report(node.Pos(), "map iteration order is randomized: sort the keys before ranging (or suppress if order-independent)")
+					}
+				case *ast.CallExpr:
+					if timeAllowed {
+						return true
+					}
+					if fn, ok := calleeObject(pkg, node).(*types.Func); ok &&
+						fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+						(fn.Name() == "Now" || fn.Name() == "Since") {
+						report(node.Pos(), "time.%s outside serve/train/cryptobase: wall-clock reads break reproducibility", fn.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runErrcheck flags silently discarded error returns in the packages that
+// touch external state: the CLIs, the model/checkpoint codecs, and the
+// serving layer. A call whose error is dropped on the floor as a bare
+// statement (or `go` statement) hides I/O failures; write the error path or
+// discard explicitly with `_ =` so the decision is visible in review.
+//
+// Deliberate exemptions, so the check stays high-signal:
+//   - package fmt (terminal writes; errors are untestable in practice),
+//   - methods on strings.Builder and bytes.Buffer (documented to never
+//     return a non-nil error),
+//   - `defer x.Close()` (the conventional error-path cleanup of read-only
+//     resources); a *statement* `x.Close()` is still flagged.
+func runErrcheck(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	errType := types.Universe.Lookup("error").Type()
+
+	returnsError := func(pkg *Package, call *ast.CallExpr) bool {
+		t := pkg.Info.TypeOf(call)
+		if t == nil {
+			return false
+		}
+		if types.Identical(t, errType) {
+			return true
+		}
+		if tup, ok := t.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				if types.Identical(tup.At(i).Type(), errType) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	exempt := func(pkg *Package, call *ast.CallExpr) bool {
+		fn, ok := calleeObject(pkg, call).(*types.Func)
+		if !ok {
+			return false
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return false
+		}
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		named, ok := rt.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return false
+		}
+		switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+		return false
+	}
+
+	for _, pkg := range prog.Pkgs {
+		if !matchPkg(pkg.Path, prog.Config.ErrcheckPkgs) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				deferred := false
+				switch stmt := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = stmt.X.(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call, deferred = stmt.Call, true
+				case *ast.GoStmt:
+					call = stmt.Call
+				default:
+					return true
+				}
+				if call == nil || !returnsError(pkg, call) || exempt(pkg, call) {
+					return true
+				}
+				if deferred {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+						return true
+					}
+				}
+				report(call.Pos(), "error return discarded: handle it or discard explicitly with _ =")
+				return true
+			})
+		}
+	}
+}

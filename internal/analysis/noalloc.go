@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/build"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runNoAlloc enforces the zero-allocation contract on the repo's hot paths.
+//
+// Roots are functions whose name carries a configured suffix (*Into,
+// *SliceInto) or an explicit //hpnn:noalloc annotation. The contract is
+// transitive: every module function a root statically calls — including
+// top-level kernel functions passed by value into the worker-pool dispatchers
+// — inherits it. Within the contract the check flags the allocation sources
+// Go makes syntactically visible:
+//
+//   - make / new
+//   - append, unless it is the canonical non-growing reslice idiom
+//     append(x[:0], ...)
+//   - slice and map composite literals, and &T{...} (escaping composite)
+//   - any call into package fmt
+//   - interface boxing at call sites: a non-pointer-shaped, non-constant
+//     concrete value passed where an interface is expected
+//   - func literals (closure capture)
+//
+// Two deliberate exemptions keep the signal high: a fmt call whose result
+// feeds panic(...) directly is cold by construction and is not flagged, and
+// an //hpnn:allow(noalloc) on a call site both suppresses the finding and
+// cuts the call-graph edge — that is how the intentionally slow systolic
+// register-level simulation is excluded at its single entry point.
+//
+// Calls through interfaces or stored function values cannot be resolved
+// statically and are not followed; annotate each concrete implementation
+// instead. First-use growth paths are suppressed in place with
+// //hpnn:allow(noalloc) plus a reason.
+func runNoAlloc(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	allows := collectAllows(prog)
+	type fnInfo struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+	}
+	fns := make(map[*types.Func]fnInfo)
+	var roots []*types.Func
+
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fns[obj] = fnInfo{pkg: pkg, decl: decl}
+				name := decl.Name.Name
+				isRoot := false
+				for _, suf := range prog.Config.NoAllocSuffixes {
+					if strings.HasSuffix(name, suf) {
+						isRoot = true
+						break
+					}
+				}
+				if !isRoot && funcHasAnnotation(prog, file, decl, "noalloc") {
+					isRoot = true
+				}
+				if isRoot {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+
+	// Breadth-first closure over static calls, remembering which root first
+	// pulled each function into the contract so diagnostics can say why a
+	// helper deep in the tensor package is being held to it.
+	rootOf := make(map[*types.Func]*types.Func)
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		if _, seen := rootOf[r]; !seen {
+			rootOf[r] = r
+			queue = append(queue, r)
+		}
+	}
+	enqueue := func(callee, root *types.Func) {
+		if _, ok := fns[callee]; !ok {
+			return // outside the module (stdlib) or no body (assembly)
+		}
+		if _, seen := rootOf[callee]; seen {
+			return
+		}
+		rootOf[callee] = root
+		queue = append(queue, callee)
+	}
+
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		info := fns[fn]
+		root := rootOf[fn]
+		where := fn.Name()
+		if root != fn {
+			where = fn.Name() + " (on the noalloc path via " + root.Name() + ")"
+		}
+
+		// fmt calls feeding panic directly are exempt (cold path); the
+		// panic call is visited before its argument, so mark it here.
+		panicFed := make(map[ast.Node]bool)
+
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncLit:
+				report(node.Pos(), "func literal in %s may capture variables and allocate", where)
+				return false
+			case *ast.UnaryExpr:
+				if node.Op == token.AND {
+					if lit, ok := node.X.(*ast.CompositeLit); ok {
+						report(node.Pos(), "&%s literal in %s escapes to the heap", litName(lit), where)
+						return false // the inner literal is covered by this finding
+					}
+				}
+			case *ast.CompositeLit:
+				switch info.pkg.Info.TypeOf(node).Underlying().(type) {
+				case *types.Slice:
+					report(node.Pos(), "slice literal in %s allocates", where)
+				case *types.Map:
+					report(node.Pos(), "map literal in %s allocates", where)
+				}
+			case *ast.CallExpr:
+				if allows.at(prog, node.Pos(), "noalloc") {
+					return false // suppressed call site: cut the edge too
+				}
+				if b, ok := calleeObject(info.pkg, node).(*types.Builtin); ok && b.Name() == "panic" {
+					for _, arg := range node.Args {
+						if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+							if fn, ok := calleeObject(info.pkg, inner).(*types.Func); ok &&
+								fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+								panicFed[inner] = true
+							}
+						}
+					}
+					return true
+				}
+				if panicFed[node] {
+					return true // formatting a panic message: cold by construction
+				}
+				checkNoAllocCall(prog, info.pkg, node, where, report, func(callee *types.Func) {
+					enqueue(callee, root)
+				})
+			}
+			return true
+		})
+	}
+}
+
+func litName(lit *ast.CompositeLit) string {
+	if lit.Type == nil {
+		return "composite"
+	}
+	return types.ExprString(lit.Type)
+}
+
+// checkNoAllocCall inspects one call expression inside a noalloc function:
+// it flags allocating builtins, fmt calls, and interface boxing, and feeds
+// statically resolvable module callees (and module functions passed by
+// value as arguments) back into the closure via follow.
+func checkNoAllocCall(prog *Program, pkg *Package, call *ast.CallExpr, where string,
+	report func(pos token.Pos, format string, args ...any), follow func(*types.Func)) {
+
+	// Type conversions are not calls; interface-typed conversions do not
+	// occur on the repo's hot paths and are out of scope here.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+
+	if obj := calleeObject(pkg, call); obj != nil {
+		switch callee := obj.(type) {
+		case *types.Builtin:
+			switch callee.Name() {
+			case "make":
+				report(call.Pos(), "make in %s allocates", where)
+			case "new":
+				report(call.Pos(), "new in %s allocates", where)
+			case "append":
+				if !isResliceAppend(pkg, call) {
+					report(call.Pos(), "append in %s may grow and allocate", where)
+				}
+			}
+			return
+		case *types.Func:
+			if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+				report(call.Pos(), "call to fmt.%s in %s allocates", callee.Name(), where)
+				return // boxing into fmt's ...any is subsumed by this finding
+			}
+			follow(callee)
+		}
+	}
+
+	// Module functions passed by value (kernel workers handed to the pool
+	// dispatchers) execute on behalf of the caller; pull them in.
+	for _, arg := range call.Args {
+		if obj := identObject(pkg, arg); obj != nil {
+			if fn, ok := obj.(*types.Func); ok {
+				follow(fn)
+			}
+		}
+	}
+
+	checkBoxing(pkg, call, where, report)
+}
+
+// calleeObject resolves the called object for direct calls: plain
+// identifiers, package-qualified functions, and concrete method selections.
+func calleeObject(pkg *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[fun.Sel] // pkg-qualified function
+	}
+	return nil
+}
+
+func identObject(pkg *Package, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if pkg.Info.Selections[x] == nil { // qualified identifier, not a field/method
+			return pkg.Info.Uses[x.Sel]
+		}
+	}
+	return nil
+}
+
+// isResliceAppend recognizes append(x[:0], ...): the repo's canonical
+// steady-state reuse idiom, which only grows when capacity is exceeded on
+// first use. Growth on the first call is accepted everywhere this idiom
+// appears; the AllocsPerRun pins verify the steady state.
+func isResliceAppend(pkg *Package, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	sl, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok || sl.High == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sl.High]
+	return ok && tv.Value != nil && tv.Value.String() == "0"
+}
+
+// checkBoxing flags call arguments that convert a concrete, non-pointer-
+// shaped value into an interface parameter: the conversion heap-allocates
+// the value. Pointer-shaped values (pointers, channels, maps, funcs) and
+// constants are stored or staticized without allocation and are exempt.
+func checkBoxing(pkg *Package, call *ast.CallExpr, where string,
+	report func(pos token.Pos, format string, args ...any)) {
+
+	sigType := pkg.Info.TypeOf(call.Fun)
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				continue // a []T passed through ...T is not boxed per element
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := pkg.Info.Types[arg]
+		if !ok || tv.IsNil() || tv.Value != nil {
+			continue // nil and constants do not allocate
+		}
+		at := tv.Type
+		if at == nil {
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if pointerShaped(at) || zeroSized(at) {
+			continue
+		}
+		report(arg.Pos(), "passing %s as %s in %s boxes the value and allocates",
+			at.String(), pt.String(), where)
+	}
+}
+
+// pointerShaped reports whether values of t fit in an interface's data word
+// without allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func zeroSized(t types.Type) bool {
+	sizes := types.SizesFor("gc", build.Default.GOARCH)
+	return sizes != nil && sizes.Sizeof(t) == 0
+}

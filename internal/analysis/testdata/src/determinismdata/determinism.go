@@ -1,0 +1,30 @@
+// Package determinismdata is a golden fixture for the determinism check:
+// the test loads it with MapRangePkgs pointed at this package, so the map
+// range below is restricted while the slice range stays legal.
+package determinismdata
+
+import (
+	"math/rand" // want "import of math/rand outside internal/rng"
+	"time"
+)
+
+// Sum ranges a map without sorting the keys: accumulation order — and with
+// floating point, the result — changes run to run.
+func Sum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want "map iteration order is randomized"
+		s += v
+	}
+	for i, v := range []float64{1, 2} { // slice iteration is ordered: exempt
+		s += v * float64(i)
+	}
+	return s
+}
+
+// Stamp reads the wall clock twice and the global PRNG once.
+func Stamp() int64 {
+	_ = rand.Int()     // the import is the finding; call sites are not re-flagged
+	t := time.Now()    // want `time.Now outside serve/train/cryptobase`
+	d := time.Since(t) // want `time.Since outside serve/train/cryptobase`
+	return t.Unix() + int64(d)
+}

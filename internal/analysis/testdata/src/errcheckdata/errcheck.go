@@ -1,0 +1,33 @@
+// Package errcheckdata is a golden fixture for the errcheck check: the
+// test loads it with ErrcheckPkgs pointed at this package. The unflagged
+// lines pin the deliberate exemptions (fmt, strings.Builder, deferred
+// Close, explicit `_ =` discard).
+package errcheckdata
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Discards exercises every statement position an error can leak from.
+func Discards(f *os.File) {
+	fail()     // want "error return discarded"
+	pair()     // want "error return discarded"
+	_ = fail() // explicit discard: the decision is visible, exempt
+	if err := fail(); err != nil {
+		fmt.Println(err) // fmt is exempt: terminal-write errors are untestable
+	}
+	var sb strings.Builder
+	sb.WriteString("x") // strings.Builder never returns a non-nil error
+	defer f.Close()     // deferred Close is the conventional cleanup: exempt
+	defer fail()        // want "error return discarded"
+	go fail()           // want "error return discarded"
+	f.Close()           // want "error return discarded"
+	_ = sb.String()
+}

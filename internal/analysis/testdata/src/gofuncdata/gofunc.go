@@ -1,0 +1,15 @@
+// Package gofuncdata is a golden fixture for the gofunc check: its import
+// path is outside GoStmtAllowPkgs, so any raw go statement is flagged.
+package gofuncdata
+
+import "sync"
+
+// Fire spawns an unmanaged goroutine instead of using the worker pool.
+func Fire() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "raw go statement outside the worker pool"
+		wg.Done()
+	}()
+	wg.Wait()
+}

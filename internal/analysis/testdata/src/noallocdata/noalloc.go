@@ -1,0 +1,69 @@
+// Package noallocdata is a golden fixture for the noalloc check: every
+// flagged line carries a `// want "regex"` expectation, and the unflagged
+// lines pin the check's deliberate exemptions (reslice append, panic
+// formatting, constants, pointer-shaped boxing).
+package noallocdata
+
+import "fmt"
+
+// T stands in for a tensor-like value type.
+type T struct {
+	Data  []float64
+	Shape []int
+}
+
+// CopyInto is a noalloc root by its name suffix.
+func CopyInto(dst, src []float64) {
+	n := len(src)
+	buf := make([]float64, n) // want "make in CopyInto allocates"
+	_ = buf
+	_ = append(dst, 1)              // want "append in CopyInto may grow and allocate"
+	dst2 := append(dst[:0], src...) // reslice idiom: reuses capacity, exempt
+	_ = dst2
+	fmt.Println("x") // want "call to fmt.Println in CopyInto allocates"
+	helper(n)
+	_ = &T{}                // want `&T literal in CopyInto escapes to the heap`
+	_ = []int{1, 2}         // want "slice literal in CopyInto allocates"
+	_ = map[int]int{1: 2}   // want "map literal in CopyInto allocates"
+	box(n)                  // want "passing int as .* in CopyInto boxes the value and allocates"
+	box(&n)                 // pointer-shaped: boxing a pointer does not allocate
+	box(7)                  // constant: staticized, no allocation
+	f := func() { _ = dst } // want "func literal in CopyInto may capture variables and allocate"
+	f()
+	if n < 0 {
+		panic(fmt.Sprintf("bad length %d", n)) // cold by construction: exempt
+	}
+}
+
+// helper is not a root itself; it is reached transitively from CopyInto.
+func helper(n int) {
+	_ = new(int) // want `new in helper \(on the noalloc path via CopyInto\) allocates`
+	_ = n
+}
+
+// Annotated is a root by annotation rather than by name.
+//
+//hpnn:noalloc
+func Annotated() {
+	_ = make([]byte, 1) // want "make in Annotated allocates"
+}
+
+func box(v any) { _ = v }
+
+// RunInto hands worker to dispatch by value, the pool-kernel idiom: the
+// closure must still be traced even though RunInto never calls it directly.
+func RunInto(dst []int) {
+	dispatch(worker)
+	_ = dst
+}
+
+func dispatch(fn func(int)) { fn(0) }
+
+func worker(i int) {
+	_ = make([]int, i) // want `make in worker \(on the noalloc path via RunInto\) allocates`
+}
+
+// Unchecked is neither named *Into nor annotated: it may allocate freely.
+func Unchecked() []int {
+	return make([]int, 3)
+}

@@ -1,0 +1,37 @@
+// Package suppressdata proves //hpnn:allow suppressions are line-scoped and
+// check-scoped: each suppressed violation produces no diagnostic, while the
+// structurally identical unsuppressed line right next to it still fires.
+package suppressdata
+
+import "time"
+
+// Tick trips gofunc and determinism; two of the three sites carry targeted
+// suppressions.
+func Tick(done chan struct{}) int64 {
+	//hpnn:allow(gofunc) fixture: lifecycle joined on the done channel below
+	go func() {
+		done <- struct{}{}
+	}()
+	<-done
+	// The unsuppressed read sits above the suppressed one: an allow comment
+	// covers its own line and the line below, never the line above.
+	u := time.Now().Unix() // want `time.Now outside serve/train/cryptobase`
+	t := time.Now().Unix() //hpnn:allow(determinism) fixture: timing scaffold
+	return t + u
+}
+
+// FillInto is a noalloc root whose one growth site is suppressed by the
+// comment on the line above it.
+func FillInto(dst []int) {
+	//hpnn:allow(noalloc) fixture: grow-on-first-use
+	buf := make([]int, len(dst))
+	copy(dst, buf)
+}
+
+// GrowInto shows a suppression naming the wrong check does not silence the
+// finding.
+func GrowInto(dst []int) {
+	//hpnn:allow(determinism) names the wrong check on purpose
+	buf := make([]int, len(dst)) // want "make in GrowInto allocates"
+	copy(dst, buf)
+}

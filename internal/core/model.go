@@ -125,8 +125,8 @@ func (m *Model) predictInto(preds []int, x *tensor.Tensor, batchSize int) {
 		if hi > n {
 			hi = n
 		}
-		m.evalShape = append(m.evalShape[:0], hi-lo)
-		m.evalShape = append(m.evalShape, x.Shape[1:]...)
+		m.evalShape = append(m.evalShape[:0], x.Shape...)
+		m.evalShape[0] = hi - lo
 		bx := tensor.ViewInto(&m.evalView, x.Data[lo*feat:hi*feat], m.evalShape...)
 		out := m.Net.Forward(bx, false)
 		k := out.Shape[1]

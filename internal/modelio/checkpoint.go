@@ -270,12 +270,12 @@ func SaveCheckpointFile(path string, m *core.Model, st train.State) error {
 		return err
 	}
 	if err := SaveCheckpoint(f, m, st); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()      // the encode error is the one worth reporting
+		_ = os.Remove(tmp) // best-effort cleanup of the partial temp file
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // best-effort cleanup of the partial temp file
 		return err
 	}
 	return os.Rename(tmp, path)

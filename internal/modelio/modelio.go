@@ -198,7 +198,7 @@ func SaveFile(path string, m *core.Model) error {
 		return err
 	}
 	if err := Save(f, m); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -48,6 +48,7 @@ func (z *Zoo) Names() []string {
 	z.mu.RLock()
 	defer z.mu.RUnlock()
 	out := make([]string, 0, len(z.models))
+	//hpnn:allow(determinism) keys are collected then sorted below
 	for n := range z.models {
 		out = append(out, n)
 	}
@@ -68,7 +69,9 @@ func (z *Zoo) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(z.Names())
+		// An encode error here means the client went away mid-response;
+		// the status is already committed, so there is nothing to report.
+		_ = json.NewEncoder(w).Encode(z.Names())
 	})
 	mux.HandleFunc("/models/", func(w http.ResponseWriter, r *http.Request) {
 		name := strings.TrimPrefix(r.URL.Path, "/models/")
@@ -84,7 +87,7 @@ func (z *Zoo) Handler() http.Handler {
 				return
 			}
 			w.Header().Set("Content-Type", "application/octet-stream")
-			w.Write(blob)
+			_, _ = w.Write(blob) // short write = client disconnect; nothing to report
 		case http.MethodPost:
 			blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
 			if err != nil {

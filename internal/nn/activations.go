@@ -28,6 +28,8 @@ func (r *ReLU) Name() string { return "ReLU" }
 func (r *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	r.lastIn = x
 	r.y = tensor.EnsureShape(r.y, x.Shape...)
@@ -42,6 +44,8 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	r.dx = tensor.EnsureShape(r.dx, grad.Shape...)
 	for i, v := range r.lastIn.Data {
@@ -71,6 +75,8 @@ func (r *LeakyReLU) Name() string { return "LeakyReLU" }
 func (r *LeakyReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	r.lastIn = x
 	r.y = tensor.EnsureShape(r.y, x.Shape...)
@@ -85,6 +91,8 @@ func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (r *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	r.dx = tensor.EnsureShape(r.dx, grad.Shape...)
 	for i, v := range r.lastIn.Data {
@@ -114,6 +122,8 @@ func (s *Sigmoid) Name() string { return "Sigmoid" }
 func (s *Sigmoid) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	s.lastOut = tensor.EnsureShape(s.lastOut, x.Shape...)
 	for i, v := range x.Data {
@@ -123,6 +133,8 @@ func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	s.dx = tensor.EnsureShape(s.dx, grad.Shape...)
 	for i, o := range s.lastOut.Data {
@@ -147,6 +159,8 @@ func (t *Tanh) Name() string { return "Tanh" }
 func (t *Tanh) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	t.lastOut = tensor.EnsureShape(t.lastOut, x.Shape...)
 	for i, v := range x.Data {
@@ -156,6 +170,8 @@ func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	t.dx = tensor.EnsureShape(t.dx, grad.Shape...)
 	for i, o := range t.lastOut.Data {
@@ -182,6 +198,8 @@ func (f *Flatten) Name() string { return "Flatten" }
 func (f *Flatten) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.lastShape = append(f.lastShape[:0], x.Shape...)
 	n := x.Shape[0]
@@ -189,6 +207,8 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return tensor.ViewInto(&f.bwdView, grad.Data, f.lastShape...)
 }

@@ -74,6 +74,8 @@ func (c *Conv2D) OutShape() (int, int, int) {
 }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := c.Geom
 	if len(x.Shape) != 4 || x.Shape[1] != g.InC || x.Shape[2] != g.InH || x.Shape[3] != g.InW {
@@ -111,6 +113,8 @@ func convFwdWorker(ctx any, i int) {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := c.Geom
 	n := grad.Shape[0]

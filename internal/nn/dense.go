@@ -52,6 +52,8 @@ func (d *Dense) InitXavier(r *rng.Rand) *Dense {
 }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 2 || x.Shape[1] != d.In {
 		panic(fmt.Sprintf("nn: Dense expects [N,%d], got %v", d.In, x.Shape))
@@ -65,6 +67,8 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Shape[0]
 	// dW = gradᵀ·x  ([Out,N]·[N,In])

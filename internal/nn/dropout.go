@@ -34,6 +34,8 @@ func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.P) }
 func (d *Dropout) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P == 0 {
 		d.lastMask = nil
@@ -55,6 +57,8 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.lastMask == nil {
 		return grad

@@ -82,6 +82,8 @@ func NewNetwork(layers ...Layer) *Network {
 }
 
 // Forward runs the batch through every layer in order.
+//
+//hpnn:noalloc
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range n.Layers {
 		x = l.Forward(x, train)
@@ -90,6 +92,8 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward propagates the loss gradient through the layers in reverse.
+//
+//hpnn:noalloc
 func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		grad = n.Layers[i].Backward(grad)

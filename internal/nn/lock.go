@@ -92,6 +92,8 @@ func (l *Lock) Disengage() { l.Engaged = false }
 func (l *Lock) Engage() { l.Engaged = true }
 
 // Forward implements Layer: out = L ⊙ x per sample.
+//
+//hpnn:noalloc
 func (l *Lock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !l.Engaged {
 		return x
@@ -114,6 +116,8 @@ func (l *Lock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer: dx = L ⊙ grad — the key-dependent term of the
 // paper's learning rule.
+//
+//hpnn:noalloc
 func (l *Lock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if !l.Engaged {
 		return grad

@@ -59,6 +59,8 @@ func (b *BatchNorm2D) Name() string { return fmt.Sprintf("BatchNorm2D(%d)", b.C)
 func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 4 || x.Shape[1] != b.C {
 		panic(fmt.Sprintf("nn: BatchNorm2D(%d) got %v", b.C, x.Shape))
@@ -133,6 +135,8 @@ func bnEvalFwdWorker(ctx any, ch int) {
 }
 
 // Backward implements Layer (training mode statistics).
+//
+//hpnn:noalloc
 func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	b.n, b.pix = b.lastShape[0], b.lastShape[2]*b.lastShape[3]
 	b.dx = tensor.EnsureShape(b.dx, grad.Shape...)

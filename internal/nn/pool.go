@@ -46,6 +46,8 @@ func (m *MaxPool) OutShape() (int, int, int) {
 }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := m.Geom
 	n := x.Shape[0]
@@ -70,6 +72,8 @@ func maxPoolFwdWorker(ctx any, i int) {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (m *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := m.Geom
 	n := m.lastN
@@ -117,6 +121,8 @@ func (a *AvgPool) Name() string {
 func (a *AvgPool) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (a *AvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := a.Geom
 	n := x.Shape[0]
@@ -139,6 +145,8 @@ func avgPoolFwdWorker(ctx any, i int) {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (a *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := a.Geom
 	n := a.lastN
@@ -173,6 +181,8 @@ func (g *GlobalAvgPool) Name() string { return "GlobalAvgPool" }
 func (g *GlobalAvgPool) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 4 {
 		panic(fmt.Sprintf("nn: GlobalAvgPool expects [N,C,H,W], got %v", x.Shape))
@@ -196,6 +206,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
 	pix := h * w

@@ -53,6 +53,8 @@ func (r *Residual) Params() []*Param {
 }
 
 // Forward implements Layer.
+//
+//hpnn:noalloc
 func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	body := r.Body.Forward(x, train)
 	var skip *tensor.Tensor
@@ -73,6 +75,8 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//hpnn:noalloc
 func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	gSum := r.Post.Backward(grad)
 	gBody := r.Body.Backward(gSum)

@@ -86,7 +86,7 @@ func gemmAcquire() *gemmScratch {
 	n := len(gemmFree.list)
 	if n == 0 {
 		gemmFree.Unlock()
-		return new(gemmScratch)
+		return new(gemmScratch) //hpnn:allow(noalloc) freelist growth to the peak concurrent-GEMM count, then recycled forever
 	}
 	s := gemmFree.list[n-1]
 	gemmFree.list = gemmFree.list[:n-1]
@@ -100,7 +100,7 @@ func gemmAcquire() *gemmScratch {
 func (s *gemmScratch) release() {
 	s.aArgs, s.bArgs, s.tArgs = KernelArgs{}, KernelArgs{}, KernelArgs{}
 	gemmFree.Lock()
-	gemmFree.list = append(gemmFree.list, s)
+	gemmFree.list = append(gemmFree.list, s) //hpnn:allow(noalloc) freelist push; capacity reaches the concurrency peak and stays
 	gemmFree.Unlock()
 }
 
@@ -108,6 +108,8 @@ func (s *gemmScratch) release() {
 // pool-parallel execution over the tile grid; the slice-level entry points
 // pass false because their callers (the convolution layer's per-sample
 // workers) already own the batch-level parallelism.
+//
+//hpnn:noalloc
 func gemmRun(dst, a, b []float64, m, n, k, variant int, par bool) {
 	if m == 0 || n == 0 {
 		return
@@ -185,6 +187,8 @@ func gemmRun(dst, a, b []float64, m, n, k, variant int, par bool) {
 // are rows of the ld-strided source: panel[p][lane] =
 // src[(pi·mr+lane)·ld + off+p]. Lanes beyond the matrix edge are
 // zero-filled so the micro-kernel never branches on tile size.
+//
+//hpnn:noalloc
 func gemmPackARows(g *KernelArgs, pi int) {
 	kc := g.K
 	dst := g.Dst[pi*gemmMR*kc : (pi+1)*gemmMR*kc]
@@ -209,6 +213,8 @@ func gemmPackARows(g *KernelArgs, pi int) {
 // gemmPackACols packs A panel pi from lanes that are columns of the
 // ld-strided source (the Aᵀ case): panel[p][lane] =
 // src[(off+p)·ld + pi·mr+lane], with zero-filled edge lanes.
+//
+//hpnn:noalloc
 func gemmPackACols(g *KernelArgs, pi int) {
 	kc, ld := g.K, g.N
 	dst := g.Dst[pi*gemmMR*kc : (pi+1)*gemmMR*kc]
@@ -240,6 +246,8 @@ func gemmPackACols(g *KernelArgs, pi int) {
 
 // gemmPackBRows packs B panel pi from lanes that are rows of the
 // ld-strided source (the Bᵀ case), zero-filling edge lanes.
+//
+//hpnn:noalloc
 func gemmPackBRows(g *KernelArgs, pi int) {
 	kc := g.K
 	dst := g.Dst[pi*gemmNR*kc : (pi+1)*gemmNR*kc]
@@ -263,6 +271,8 @@ func gemmPackBRows(g *KernelArgs, pi int) {
 
 // gemmPackBCols packs B panel pi from lanes that are columns of the
 // ld-strided source, zero-filling edge lanes.
+//
+//hpnn:noalloc
 func gemmPackBCols(g *KernelArgs, pi int) {
 	kc, ld := g.K, g.N
 	dst := g.Dst[pi*gemmNR*kc : (pi+1)*gemmNR*kc]
@@ -298,6 +308,8 @@ func gemmPackBCols(g *KernelArgs, pi int) {
 // zeroing pass — and on later blocks it accumulates. Edge tiles compute
 // the full padded mr×nr (zero lanes contribute zeros) and store only the
 // valid region.
+//
+//hpnn:noalloc
 func gemmTile(g *KernelArgs, t int) {
 	kc := g.K
 	nP := (g.N + gemmNR - 1) / gemmNR
@@ -340,6 +352,8 @@ func gemmTile(g *KernelArgs, t int) {
 // per-lane summation order (ascending p) matches the vector kernel; only
 // rounding differs (the assembly kernel's FMA skips the intermediate
 // rounding), and the choice between them is fixed at init.
+//
+//hpnn:noalloc
 func gemmMicroGo(ap, bp []float64, kc int, acc *[gemmMR * gemmNR]float64) {
 	ap = ap[:kc*gemmMR]
 	for h := 0; h < gemmNR; h += 4 {
@@ -382,6 +396,8 @@ func gemmMicroGo(ap, bp []float64, kc int, acc *[gemmMR * gemmNR]float64) {
 // traffic of an already memory-bound product, so each output element is a
 // straight ascending-order dot product, deterministic for the same reason
 // as the tile grid: one worker owns each output row.
+//
+//hpnn:noalloc
 func gemmVec(s *gemmScratch, dst, a, b []float64, m, k, variant int, par bool) {
 	s.aArgs = KernelArgs{Dst: dst, A: a, B: b, M: m, K: k}
 	fn := gemmVecRow
@@ -399,6 +415,8 @@ func gemmVec(s *gemmScratch, dst, a, b []float64, m, k, variant int, par bool) {
 
 // gemmVecRow computes dst[i] = A[i,:]·b for row-major A (NN and NT agree
 // when B has a single row/column).
+//
+//hpnn:noalloc
 func gemmVecRow(g *KernelArgs, i int) {
 	k := g.K
 	row := g.A[i*k : (i+1)*k]
@@ -410,6 +428,8 @@ func gemmVecRow(g *KernelArgs, i int) {
 }
 
 // gemmVecTNRow computes dst[i] = A[:,i]·b for a k×m A (the Aᵀ·b case).
+//
+//hpnn:noalloc
 func gemmVecTNRow(g *KernelArgs, i int) {
 	m := g.M
 	s := 0.0

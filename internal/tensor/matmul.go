@@ -121,6 +121,8 @@ func MatVecInto(y []float64, a *Tensor, x []float64) {
 // the buffer's storage. It is the allocation-free counterpart of the
 // package-level MatVec for steady-state callers (the watermark
 // regularizer evaluates two of these per optimizer step).
+//
+//hpnn:noalloc
 func (w *Workspace) MatVec(key string, a *Tensor, x []float64) []float64 {
 	m, _ := dims2(a, "MatVec")
 	y := w.Get(key, m)

@@ -7,6 +7,8 @@ import "fmt"
 // allocation-free kernels.
 
 // AddRowBroadcast adds row (length n) to every row of the m×n tensor t.
+//
+//hpnn:noalloc
 func AddRowBroadcast(t *Tensor, row []float64) {
 	m, n := dims2(t, "AddRowBroadcast")
 	if len(row) != n {
@@ -23,6 +25,8 @@ func AddRowBroadcast(t *Tensor, row []float64) {
 // AddColSums accumulates the column sums of the m×n tensor t into dst
 // (length n): dst[j] += Σ_i t[i][j]. Used for bias gradients, which add
 // into an existing accumulator.
+//
+//hpnn:noalloc
 func AddColSums(dst []float64, t *Tensor) {
 	m, n := dims2(t, "AddColSums")
 	if len(dst) != n {

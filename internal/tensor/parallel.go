@@ -87,8 +87,8 @@ var kargsScratch = sync.Pool{New: func() any { return new(KernelArgs) }}
 // SetMaxWorkers simply leaves the surplus asleep.
 func (p *workerPool) ensureWorkers(k int) {
 	for len(p.wake) < k {
-		ch := make(chan struct{}, 1)
-		p.wake = append(p.wake, ch)
+		ch := make(chan struct{}, 1) //hpnn:allow(noalloc) one-time worker spin-up; workers persist for the process lifetime
+		p.wake = append(p.wake, ch)  //hpnn:allow(noalloc) one-time worker registry growth
 		go p.workerLoop(ch)
 	}
 }

@@ -10,6 +10,8 @@ import "math"
 // MaxPool2D max-pools one [C,H,W] image described by g into dst
 // ([C,OutH,OutW]), recording the winning flat source index per output cell
 // in arg (-1 when the window saw only padding). Padded cells never win.
+//
+//hpnn:noalloc
 func MaxPool2D(dst []float64, arg []int, src []float64, g ConvGeom) {
 	outH, outW := g.OutH(), g.OutW()
 	o := 0
@@ -46,6 +48,8 @@ func MaxPool2D(dst []float64, arg []int, src []float64, g ConvGeom) {
 
 // MaxPool2DGrad scatters pooled gradients back through the argmax indices
 // recorded by MaxPool2D. dx is zeroed first.
+//
+//hpnn:noalloc
 func MaxPool2DGrad(dx, grad []float64, arg []int) {
 	for i := range dx {
 		dx[i] = 0
@@ -59,6 +63,8 @@ func MaxPool2DGrad(dx, grad []float64, arg []int) {
 
 // AvgPool2D average-pools one [C,H,W] image into dst ([C,OutH,OutW]) with
 // count_include_pad=true semantics (the divisor is the fixed window size).
+//
+//hpnn:noalloc
 func AvgPool2D(dst, src []float64, g ConvGeom) {
 	outH, outW := g.OutH(), g.OutW()
 	inv := 1 / float64(g.KH*g.KW)
@@ -90,6 +96,8 @@ func AvgPool2D(dst, src []float64, g ConvGeom) {
 
 // AvgPool2DGrad distributes pooled gradients uniformly over each window.
 // dx is zeroed first.
+//
+//hpnn:noalloc
 func AvgPool2DGrad(dx, grad []float64, g ConvGeom) {
 	for i := range dx {
 		dx[i] = 0

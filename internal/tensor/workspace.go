@@ -14,10 +14,10 @@ func EnsureShape(t *Tensor, shape ...int) *Tensor {
 	// retains its shape argument, which would make the variadic slice
 	// escape — and heap-allocate — at every EnsureShape call site.
 	if t == nil {
-		t = &Tensor{}
+		t = &Tensor{} //hpnn:allow(noalloc) first-use allocation; steady state passes a live tensor
 	}
 	if cap(t.Data) < need {
-		t.Data = make([]float64, need)
+		t.Data = make([]float64, need) //hpnn:allow(noalloc) grow-on-first-use; steady state reuses capacity
 	} else {
 		t.Data = t.Data[:need]
 	}
@@ -42,7 +42,7 @@ func ViewInto(view *Tensor, data []float64, shape ...int) *Tensor {
 // unspecified after a resize.
 func EnsureFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //hpnn:allow(noalloc) grow-on-first-use; steady state reuses capacity
 	}
 	return s[:n]
 }
@@ -51,7 +51,7 @@ func EnsureFloats(s []float64, n int) []float64 {
 // unspecified after a resize.
 func EnsureInts(s []int, n int) []int {
 	if cap(s) < n {
-		return make([]int, n)
+		return make([]int, n) //hpnn:allow(noalloc) grow-on-first-use; steady state reuses capacity
 	}
 	return s[:n]
 }
@@ -79,7 +79,7 @@ func NewWorkspace() *Workspace { return &Workspace{bufs: make(map[string]*Tensor
 // are retained.
 func (w *Workspace) Get(key string, shape ...int) *Tensor {
 	if w.bufs == nil {
-		w.bufs = make(map[string]*Tensor)
+		w.bufs = make(map[string]*Tensor) //hpnn:allow(noalloc) lazy init of a zero-value Workspace; NewWorkspace pre-builds it
 	}
 	t, ok := w.bufs[key]
 	if w.sealed && (!ok || cap(t.Data) < Prod(shape)) {
@@ -114,6 +114,7 @@ func (w *Workspace) Sealed() bool { return w.sealed }
 // Reset drops every buffer, releasing the memory to the garbage collector,
 // and lifts any seal.
 func (w *Workspace) Reset() {
+	//hpnn:allow(determinism) order-independent full clear (the compiler's map-clear idiom)
 	for k := range w.bufs {
 		delete(w.bufs, k)
 	}
@@ -123,6 +124,7 @@ func (w *Workspace) Reset() {
 // Bytes reports the total bytes currently held by the workspace's buffers.
 func (w *Workspace) Bytes() int {
 	total := 0
+	//hpnn:allow(determinism) order-independent sum
 	for _, t := range w.bufs {
 		total += cap(t.Data) * 8
 	}

@@ -75,6 +75,7 @@ func (a *Accelerator) planFor(m *core.Model) ([]planOp, error) {
 	plan, ok := a.plans[m]
 	if !ok {
 		var err error
+		//hpnn:allow(noalloc) compile-once lowering; Compile runs it eagerly before serving starts
 		if plan, err = compileModel(a, m); err != nil {
 			return nil, err
 		}
@@ -111,6 +112,8 @@ func (a *Accelerator) WorkspaceBytes() int { return a.ws.Bytes() }
 // through the model and returns its argmax class. It is the per-request
 // entry point of the serving layer: unlike Predict it returns no slice and
 // performs zero heap allocations in steady state.
+//
+//hpnn:noalloc
 func (a *Accelerator) PredictSample(m *core.Model, x *tensor.Tensor) (int, error) {
 	plan, err := a.planFor(m)
 	if err != nil {

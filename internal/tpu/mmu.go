@@ -120,10 +120,11 @@ func (m *MMU) MatMulLockedInto(dst []int32, w []int8, mRows, k int, x []int8, p 
 		panic(fmt.Sprintf("tpu: column assignment %d != %d outputs", len(cols), mRows*p))
 	}
 	if m.cfg.Systolic {
+		//hpnn:allow(noalloc) register-level simulation path: diagnostic mode, never steady-state serving
 		return m.matMulSystolic(w, mRows, k, x, p, bias, cols)
 	}
 	if cap(dst) < mRows*p {
-		dst = make([]int32, mRows*p)
+		dst = make([]int32, mRows*p) //hpnn:allow(noalloc) grow-on-first-use; plan ops keep one accumulator buffer per op
 	}
 	out := dst[:mRows*p]
 	var gateOps, locked uint64
@@ -183,7 +184,7 @@ func ReLUQuantize(acc []int32, accScale float64) ([]int8, float64) {
 // returned), so compiled inference ops reuse one buffer across samples.
 func ReLUQuantizeInto(dst []int8, acc []int32, accScale float64) ([]int8, float64) {
 	if cap(dst) < len(acc) {
-		dst = make([]int8, len(acc))
+		dst = make([]int8, len(acc)) //hpnn:allow(noalloc) grow-on-first-use; plan ops reuse one activation buffer
 	}
 	dst = dst[:len(acc)]
 	maxV := int32(0)

@@ -410,7 +410,7 @@ func runOps(a *Accelerator, ops []planOp, act *tensor.Tensor) (*tensor.Tensor, e
 	var err error
 	for _, op := range ops {
 		if act, err = op.apply(a, act); err != nil {
-			return nil, fmt.Errorf("%s: %w", op.opName(), err)
+			return nil, fmt.Errorf("%s: %w", op.opName(), err) //hpnn:allow(noalloc) cold error path
 		}
 	}
 	return act, nil

@@ -58,11 +58,11 @@ func QuantizeToInto(q *QTensor, t *tensor.Tensor, bits int) *QTensor {
 		scale = maxAbs / qmax
 	}
 	if q == nil {
-		q = &QTensor{}
+		q = &QTensor{} //hpnn:allow(noalloc) first-use allocation; compiled ops pass a live QTensor
 	}
 	q.Shape = append(q.Shape[:0], t.Shape...)
 	if cap(q.Data) < t.Len() {
-		q.Data = make([]int8, t.Len())
+		q.Data = make([]int8, t.Len()) //hpnn:allow(noalloc) grow-on-first-use; steady state reuses capacity
 	}
 	q.Data = q.Data[:t.Len()]
 	q.Scale = scale
@@ -114,7 +114,7 @@ func QuantizeBias(b *tensor.Tensor, accScale float64) []int32 {
 // compiled ops keep one buffer alive instead of allocating per inference.
 func QuantizeBiasInto(dst []int32, b *tensor.Tensor, accScale float64) []int32 {
 	if cap(dst) < b.Len() {
-		dst = make([]int32, b.Len())
+		dst = make([]int32, b.Len()) //hpnn:allow(noalloc) grow-on-first-use; steady state reuses capacity
 	}
 	out := dst[:b.Len()]
 	inv := 1 / accScale

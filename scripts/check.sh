@@ -8,6 +8,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 go vet ./...
+# The in-tree analyzer (DESIGN.md §11): zero-alloc, determinism, and
+# concurrency invariants as whole-module structural checks. Runs before
+# the race gates — it is faster and its findings are cheaper to read.
+go run ./cmd/hpnn-lint ./...
 go test -race ./internal/tensor/... ./internal/nn/... ./internal/serve/... ./internal/train/...
 # The accelerator's own concurrency surface (per-shard plans over one
 # shared model, zero-alloc PredictSample) — by name, so the gate skips the
