@@ -35,10 +35,25 @@ func main() {
 		queries   = flag.Int("queries", 500, "query budget for -mode keyrecovery")
 		ckptPath  = flag.String("checkpoint", "", "write a resumable fine-tuning checkpoint here after every epoch")
 		resume    = flag.Bool("resume", false, "continue from -checkpoint if it exists; the resumed attack reproduces the uninterrupted one bitwise")
+		schemeNm  = flag.String("scheme", "", "lock scheme of the victim (empty = the model's own stamp; \"list\" prints the registry)")
+		schedSd   = flag.Uint64("sched-seed", 77, "schedule seed assumed by -mode keyrecovery on non-default schemes (Kerckhoffs: schedule public, key secret)")
 	)
 	flag.Parse()
 
+	if *schemeNm == "list" {
+		fmt.Print(hpnn.DescribeLockSchemes())
+		return
+	}
+
 	victim, err := hpnn.LoadModelFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schemeName := hpnn.CanonicalLockScheme(victim.Scheme)
+	if *schemeNm != "" && hpnn.CanonicalLockScheme(*schemeNm) != schemeName {
+		log.Fatalf("-scheme %s does not match the model's stamp %s", *schemeNm, schemeName)
+	}
+	scheme, err := hpnn.LockSchemeByName(schemeName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,6 +66,24 @@ func main() {
 	}
 
 	if *mode == "keyrecovery" {
+		if scheme.Name() != hpnn.CanonicalLockScheme("") {
+			// Non-default schemes have no per-neuron lock bits to climb;
+			// attack the 256-bit device key through the scheme's public
+			// Unlock semantics instead.
+			fmt.Printf("attack: greedy device-key recovery against scheme %s, α=%g%%, budget %d queries\n",
+				scheme.Name(), *alpha*100, *queries)
+			res, err := attack.RecoverKey(scheme, victim, hpnn.NewSchedule(*schedSd), ds, attack.SchemeKeyRecoveryConfig{
+				ThiefFrac: *alpha, ThiefSeed: *seed + 11, MaxQueries: *queries, Seed: *seed + 12,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("thief samples:      %d\n", res.ThiefSamples)
+			fmt.Printf("bits tried/flipped: %d/%d (of %d key bits)\n", res.BitsTried, res.BitsFlipped, hpnn.KeyBits)
+			fmt.Printf("thief accuracy:     %.2f%% → %.2f%%\n", 100*res.ThiefAccStart, 100*res.ThiefAccEnd)
+			fmt.Printf("test accuracy:      %.2f%% → %.2f%%\n", 100*res.TestAccStart, 100*res.TestAccEnd)
+			return
+		}
 		fmt.Printf("attack: greedy key recovery, α=%g%%, budget %d queries\n", *alpha*100, *queries)
 		res, err := attack.RecoverLocks(victim, ds, attack.KeyRecoveryConfig{
 			ThiefFrac: *alpha, ThiefSeed: *seed + 11, MaxQueries: *queries, Seed: *seed + 12,

@@ -87,6 +87,10 @@ var runners = map[string]runner{
 		}
 		return bundle, out, nil
 	},
+	"schemes": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
+		rows, err := experiments.SchemeBench(p, logf)
+		return rows, experiments.RenderSchemeBench(rows), err
+	},
 	"security": func(p experiments.Profile, logf experiments.Logf) (any, string, error) {
 		r, err := experiments.KeyRecovery(p, logf)
 		if err != nil {
@@ -113,7 +117,7 @@ var runners = map[string]runner{
 }
 
 // order fixes the "all" execution sequence.
-var order = []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "crypto", "ablations", "security"}
+var order = []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "crypto", "ablations", "security", "schemes"}
 
 func main() {
 	log.SetFlags(0)

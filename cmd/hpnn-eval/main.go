@@ -31,10 +31,24 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "dataset seed (must match training)")
 		useTPU    = flag.Bool("tpu", false, "run on the simulated TPU-like trusted device")
 		gateLevel = flag.Bool("gate-level", false, "bit-accurate accumulator datapath (slow; implies -tpu)")
+		schemeNm  = flag.String("scheme", "", "lock scheme (empty = the model's own stamp; \"list\" prints the registry)")
 	)
 	flag.Parse()
 
+	if *schemeNm == "list" {
+		fmt.Print(hpnn.DescribeLockSchemes())
+		return
+	}
+
 	m, err := hpnn.LoadModelFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schemeName := hpnn.CanonicalLockScheme(m.Scheme)
+	if *schemeNm != "" && hpnn.CanonicalLockScheme(*schemeNm) != schemeName {
+		log.Fatalf("-scheme %s does not match the model's stamp %s", *schemeNm, schemeName)
+	}
+	scheme, err := hpnn.LockSchemeByName(schemeName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +83,7 @@ func main() {
 		}
 		cfg := hpnn.DefaultAcceleratorConfig()
 		cfg.GateLevel = *gateLevel
-		acc, err := hpnn.NewAccelerator(cfg, dev, sched)
+		acc, err := hpnn.NewAcceleratorFor(scheme, cfg, dev, sched)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,12 +104,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m.ApplyRawKey(key, sched)
-		fmt.Printf("scenario: software evaluation with key\n")
+		if err := scheme.Unlock(m, hpnn.NewTrustedDevice("cli-device", key), sched); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scenario: software evaluation with key (scheme %s)\n", scheme.Name())
 		fmt.Printf("accuracy: %.2f%%\n", 100*m.Accuracy(ds.TestX, ds.TestY, 64))
 	default:
-		m.DisengageLocks()
-		fmt.Printf("scenario: attacker — baseline architecture, no key\n")
+		if err := scheme.Unlock(m, nil, sched); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scenario: attacker — published artifact, no key (scheme %s)\n", scheme.Name())
 		fmt.Printf("accuracy: %.2f%%\n", 100*m.Accuracy(ds.TestX, ds.TestY, 64))
 	}
 }

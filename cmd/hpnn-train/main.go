@@ -43,8 +43,18 @@ func main() {
 		warmup   = flag.Int("warmup", 0, "linear LR warmup epochs before the schedule")
 		ckptPath = flag.String("checkpoint", "", "write a resumable training checkpoint here after every epoch (contains key material — keep private)")
 		resume   = flag.Bool("resume", false, "continue from -checkpoint if it exists; the resumed run reproduces the uninterrupted one bitwise")
+		schemeNm = flag.String("scheme", "", "lock scheme (empty = hpnn-xor; \"list\" prints the registry)")
 	)
 	flag.Parse()
+
+	if *schemeNm == "list" {
+		fmt.Print(hpnn.DescribeLockSchemes())
+		return
+	}
+	scheme, err := hpnn.LockSchemeByName(*schemeNm)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ds, err := hpnn.GenerateDataset(hpnn.DatasetConfig{
 		Name: *dsName, TrainN: *trainN, TestN: *testN, H: *imgSize, W: *imgSize, Seed: *seed,
@@ -117,8 +127,11 @@ func main() {
 			log.Printf("resuming from %s at epoch %d", *ckptPath, st.NextEpoch)
 		}
 	}
+	dev := hpnn.NewTrustedDevice("owner-train", key)
 	if !resumed {
-		m.ApplyRawKey(key, sched)
+		if err := scheme.InstrumentTraining(m, dev, sched); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *ckptPath != "" {
 		cfg.Hooks.OnEpoch = func(info hpnn.TrainEpochInfo) bool {
@@ -129,26 +142,40 @@ func main() {
 		}
 	}
 
-	log.Printf("training %s on %s (%dx%dx%d, %d train / %d test, %d locked neurons, %d params)",
-		arch, *dsName, ds.C, ds.H, ds.W, *trainN, *testN, m.LockedNeurons(), m.Net.ParamCount())
+	log.Printf("training %s on %s under scheme %s (%dx%dx%d, %d train / %d test, %d locked neurons, %d params)",
+		arch, *dsName, scheme.Name(), ds.C, ds.H, ds.W, *trainN, *testN, m.LockedNeurons(), m.Net.ParamCount())
 	res, err := hpnn.TrainChecked(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ownerAcc := res.FinalTestAcc()
 
-	m.DisengageLocks()
-	noKey := m.Accuracy(ds.TestX, ds.TestY, 64)
-	m.EngageLocks()
+	// Publish a clone under the scheme and measure the thief's view of the
+	// published artifact (Unlock with no device).
+	pub, err := m.Clone()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := scheme.Publish(pub, dev, sched); err != nil {
+		log.Fatal(err)
+	}
+	thief, err := pub.Clone()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := scheme.Unlock(thief, nil, sched); err != nil {
+		log.Fatal(err)
+	}
+	noKey := thief.Accuracy(ds.TestX, ds.TestY, 64)
 
 	fmt.Printf("owner accuracy (with key): %.2f%%\n", 100*ownerAcc)
 	fmt.Printf("stolen-model accuracy (no key): %.2f%% (drop %.2f points)\n",
 		100*noKey, 100*(ownerAcc-noKey))
 
-	if err := hpnn.SaveModelFile(*out, m); err != nil {
+	if err := hpnn.SaveModelFile(*out, pub); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("obfuscated model written to %s\n", *out)
+	fmt.Printf("obfuscated model written to %s (scheme %s)\n", *out, scheme.Name())
 	if *keyOut != "" {
 		if err := os.WriteFile(*keyOut, []byte(key.Hex()+"\n"), 0o600); err != nil {
 			log.Fatal(err)

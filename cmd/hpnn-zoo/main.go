@@ -31,8 +31,14 @@ func main() {
 		list    = flag.Bool("list", false, "list published models")
 		model   = flag.String("model", "model.hpnn", "model file to publish")
 		out     = flag.String("out", "fetched.hpnn", "output file for -fetch")
+		scheme  = flag.String("scheme", "", `"list" prints the lock-scheme registry`)
 	)
 	flag.Parse()
+
+	if *scheme == "list" {
+		fmt.Print(hpnn.DescribeLockSchemes())
+		return
+	}
 
 	if *serve {
 		zoo := modelio.NewZoo()
@@ -50,8 +56,8 @@ func main() {
 		if err := client.Publish(*publish, m); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("published %s as %q (%d params; weights only, no key material)\n",
-			*model, *publish, m.Net.ParamCount())
+		fmt.Printf("published %s as %q (scheme %s, %d params; weights only, no key material)\n",
+			*model, *publish, hpnn.CanonicalLockScheme(m.Scheme), m.Net.ParamCount())
 	case *fetch != "":
 		m, err := client.Fetch(*fetch)
 		if err != nil {
@@ -60,18 +66,19 @@ func main() {
 		if err := hpnn.SaveModelFile(*out, m); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("fetched %q (%s, %d params) to %s\n", *fetch, m.Config.Arch, m.Net.ParamCount(), *out)
+		fmt.Printf("fetched %q (%s, scheme %s, %d params) to %s\n",
+			*fetch, m.Config.Arch, hpnn.CanonicalLockScheme(m.Scheme), m.Net.ParamCount(), *out)
 	case *list:
-		names, err := client.List()
+		recs, err := client.ListRecords()
 		if err != nil {
 			log.Fatal(err)
 		}
-		if len(names) == 0 {
+		if len(recs) == 0 {
 			fmt.Println("(no models published)")
 			return
 		}
-		for _, n := range names {
-			fmt.Println(n)
+		for _, r := range recs {
+			fmt.Printf("%-30s %s\n", r.Name, r.Scheme)
 		}
 	default:
 		flag.Usage()

@@ -1,0 +1,173 @@
+package hpnn_test
+
+// Golden pin for the HPNN XOR lock path. These constants were captured from
+// the hard-wired pre-LockScheme implementation (nn.Lock → fused plan ops →
+// MatMulLockedInto → keys.Device.BitsForColumns) and pin the refactored
+// scheme-interface path bitwise against it: locked accelerator inference,
+// the serving layer, the owner's train step and the checkpoint encoding must
+// all reproduce these exact values. If one of these changes, the refactor
+// altered observable behaviour — not just structure.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"hpnn"
+)
+
+// goldenSetup builds the deterministic victim every pin shares: a CNN1
+// locked under a fixed key and schedule, trained two epochs on a tiny
+// fashion benchmark.
+func goldenSetup(t *testing.T) (*hpnn.Model, *hpnn.Dataset, hpnn.Key, *hpnn.Schedule, hpnn.TrainerState) {
+	t.Helper()
+	ds, err := hpnn.GenerateDataset(hpnn.DatasetConfig{
+		Name: "fashion", TrainN: 64, TestN: 48, H: 16, W: 16, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hpnn.NewModel(hpnn.Config{
+		Arch: hpnn.CNN1, InC: ds.C, InH: ds.H, InW: ds.W, Classes: ds.Classes, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hpnn.GenerateKey(11)
+	sched := hpnn.NewSchedule(12)
+	m.ApplyRawKey(key, sched)
+
+	var snap hpnn.TrainerState
+	cfg := hpnn.TrainConfig{Epochs: 2, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 13}
+	cfg.Hooks.OnEpoch = func(info hpnn.TrainEpochInfo) bool {
+		snap = info.Snapshot()
+		return true
+	}
+	if _, err := hpnn.TrainChecked(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return m, ds, key, sched, snap
+}
+
+func hashBytes(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func hashInts(vs []int) string {
+	h := fnv.New64a()
+	for _, v := range vs {
+		var buf [8]byte
+		u := uint64(v)
+		for i := range buf {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func hashFloats(vs []float64) string {
+	h := fnv.New64a()
+	for _, v := range vs {
+		var buf [8]byte
+		u := math.Float64bits(v)
+		for i := range buf {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func modelWeightHash(m *hpnn.Model) string {
+	h := fnv.New64a()
+	for _, p := range m.Net.Params() {
+		fmt.Fprint(h, p.Name)
+		for _, v := range p.Value.Data {
+			var buf [8]byte
+			u := math.Float64bits(v)
+			for i := range buf {
+				buf[i] = byte(u >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Captured from the pre-refactor implementation; see file comment.
+const (
+	goldenTrainWeights   = "ba45d27ec30dd716"
+	goldenCheckpoint     = "2390ab39ed1613c7"
+	goldenLockedPreds    = "da490ffb4b7eab61"
+	goldenCommodityPreds = "c6dffa1db01e1925"
+	goldenServePreds     = "da490ffb4b7eab61"
+)
+
+func TestGoldenPinHPNNPath(t *testing.T) {
+	m, ds, key, sched, snap := goldenSetup(t)
+
+	// 1. Owner training: the key-dependent backpropagation trajectory.
+	if got := modelWeightHash(m); got != goldenTrainWeights {
+		t.Errorf("train-step weight hash = %s, want %s", got, goldenTrainWeights)
+	}
+
+	// 2. Checkpoint encoding bytes (private owner artifact, HPCK).
+	var ckpt bytes.Buffer
+	if err := hpnn.SaveCheckpoint(&ckpt, m, snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := hashBytes(ckpt.Bytes()); got != goldenCheckpoint {
+		t.Errorf("checkpoint byte hash = %s, want %s", got, goldenCheckpoint)
+	}
+
+	// 3. Locked inference on the trusted accelerator, and the commodity
+	// (no-key) accelerator next to it.
+	dev := hpnn.NewTrustedDevice("golden", key)
+	acc, err := hpnn.NewAccelerator(hpnn.DefaultAcceleratorConfig(), dev, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := acc.Predict(m, ds.TestX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashInts(preds); got != goldenLockedPreds {
+		t.Errorf("locked tpu prediction hash = %s, want %s", got, goldenLockedPreds)
+	}
+	commodity, err := hpnn.NewAccelerator(hpnn.DefaultAcceleratorConfig(), nil, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cPreds, err := commodity.Predict(m, ds.TestX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashInts(cPreds); got != goldenCommodityPreds {
+		t.Errorf("commodity tpu prediction hash = %s, want %s", got, goldenCommodityPreds)
+	}
+
+	// 4. The serving layer over the same locked hardware.
+	srv, err := hpnn.NewInferenceServer(m, hpnn.DefaultAcceleratorConfig(), dev, sched, hpnn.ServeConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPreds, err := srv.PredictBatch(context.Background(), ds.TestX)
+	srv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashInts(sPreds); got != goldenServePreds {
+		t.Errorf("serve prediction hash = %s, want %s", got, goldenServePreds)
+	}
+
+	if testing.Verbose() {
+		t.Logf("golden capture: train=%s ckpt=%s locked=%s commodity=%s serve=%s",
+			modelWeightHash(m), hashBytes(ckpt.Bytes()), hashInts(preds), hashInts(cPreds), hashInts(sPreds))
+	}
+}

@@ -24,12 +24,15 @@
 package hpnn
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"hpnn/internal/attack"
 	"hpnn/internal/core"
 	"hpnn/internal/dataset"
 	"hpnn/internal/keys"
+	"hpnn/internal/lockscheme"
 	"hpnn/internal/modelio"
 	"hpnn/internal/rng"
 	"hpnn/internal/schedule"
@@ -179,10 +182,52 @@ func FineTune(victim *Model, ds *Dataset, cfg FineTuneConfig) (AttackResult, *Mo
 	return attack.FineTune(victim, ds, cfg)
 }
 
-// NewAccelerator builds the simulated TPU-like device. dev may be nil to
-// model commodity hardware without the HPNN key.
+// NewAccelerator builds the simulated TPU-like device for the paper's
+// default HPNN XOR scheme. dev may be nil to model commodity hardware
+// without the HPNN key.
 func NewAccelerator(cfg AcceleratorConfig, dev *Device, sched *Schedule) (*Accelerator, error) {
 	return tpu.NewAccelerator(cfg, dev, sched)
+}
+
+// LockScheme is one pluggable locking backend: how a model is entangled
+// with a hardware key at training time, transformed for publication, and
+// lowered onto the accelerator (package lockscheme).
+type LockScheme = lockscheme.Scheme
+
+// LockSchemeNames lists the registered lock-scheme identifiers, sorted.
+func LockSchemeNames() []string { return lockscheme.Names() }
+
+// LockSchemeByName resolves a scheme identifier; the empty string selects
+// the paper's default HPNN XOR scheme.
+func LockSchemeByName(name string) (LockScheme, error) { return lockscheme.Get(name) }
+
+// DefaultLockScheme is the paper's per-neuron XOR scheme.
+func DefaultLockScheme() LockScheme { return lockscheme.Default() }
+
+// CanonicalLockScheme normalizes a stored scheme identifier: the empty
+// string (pre-scheme artifacts) resolves to the default scheme's name.
+func CanonicalLockScheme(name string) string { return lockscheme.Canonical(name) }
+
+// DescribeLockSchemes renders the registry as "name  description" lines for
+// CLI -scheme list output.
+func DescribeLockSchemes() string {
+	var b strings.Builder
+	for _, n := range lockscheme.Names() {
+		s, err := lockscheme.Get(n)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %s\n", n, s.Describe())
+	}
+	return b.String()
+}
+
+// NewAcceleratorFor builds the simulated device for an explicit lock
+// scheme: the in-datapath XOR scheme drives the key-conditioned
+// accumulators, weight-space schemes unlock into a device-private clone at
+// plan-compile time.
+func NewAcceleratorFor(scheme LockScheme, cfg AcceleratorConfig, dev *Device, sched *Schedule) (*Accelerator, error) {
+	return tpu.NewAcceleratorFor(scheme, cfg, dev, sched)
 }
 
 // DefaultAcceleratorConfig is the paper's 256×256 MMU geometry.

@@ -39,7 +39,7 @@ func DefaultConfig() Config {
 		MapRangePkgs: []string{
 			"hpnn/internal/tensor", "hpnn/internal/nn", "hpnn/internal/tpu",
 			"hpnn/internal/train", "hpnn/internal/core", "hpnn/internal/watermark",
-			"hpnn/internal/modelio",
+			"hpnn/internal/modelio", "hpnn/internal/lockscheme",
 		},
 		RandAllowPkgs: []string{"hpnn/internal/rng"},
 		TimeAllowPkgs: []string{
@@ -48,6 +48,7 @@ func DefaultConfig() Config {
 		GoStmtAllowPkgs: []string{"hpnn/internal/tensor", "hpnn/internal/serve"},
 		ErrcheckPkgs: []string{
 			"hpnn/cmd/...", "hpnn/internal/modelio", "hpnn/internal/serve",
+			"hpnn/internal/lockscheme",
 		},
 		NoAllocSuffixes: []string{"Into", "SliceInto"},
 	}

@@ -1,0 +1,277 @@
+package attack
+
+import (
+	"fmt"
+
+	"hpnn/internal/core"
+	"hpnn/internal/dataset"
+	"hpnn/internal/keys"
+	"hpnn/internal/lockscheme"
+	"hpnn/internal/rng"
+	"hpnn/internal/schedule"
+	"hpnn/internal/tensor"
+)
+
+// Scheme-generic attacks. RecoverLocks (keyrecovery.go) hill-climbs the
+// per-neuron lock bits of the paper's scheme directly; the attacks here
+// instead target the 256-bit device key of ANY registered lock scheme
+// through its public Unlock semantics. The threat model is Kerckhoffs's:
+// the scheme, the schedule and the key-derivation code are public, only the
+// key is secret. That is strictly generous to the attacker (the paper also
+// keeps the schedule private), so cross-scheme numbers are lower bounds on
+// security.
+
+// evalUnlocked clones the published model, unlocks the clone under a
+// hypothesized key and returns it for evaluation. The published artifact is
+// never mutated.
+func evalUnlocked(scheme lockscheme.Scheme, published *core.Model, key keys.Key, sched *schedule.Schedule) (*core.Model, error) {
+	c, err := published.Clone()
+	if err != nil {
+		return nil, err
+	}
+	if err := scheme.Unlock(c, keys.NewDevice("attacker-hypothesis", key), sched); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SchemeKeyRecoveryConfig budgets a greedy device-key recovery attack.
+type SchemeKeyRecoveryConfig struct {
+	// ThiefFrac/ThiefSeed select the attacker's labelled data.
+	ThiefFrac float64
+	ThiefSeed uint64
+	// MaxQueries caps thief-set evaluations (one per key-bit trial).
+	MaxQueries int
+	// Seed randomizes the key-bit visit order.
+	Seed uint64
+}
+
+// SchemeKeyRecoveryResult summarizes a device-key recovery attack.
+type SchemeKeyRecoveryResult struct {
+	Scheme       string
+	ThiefSamples int
+	Queries      int
+	BitsTried    int
+	BitsFlipped  int
+	// Thief-set accuracy under the starting (all-zero) and final key
+	// hypotheses.
+	ThiefAccStart, ThiefAccEnd float64
+	// Held-out test accuracy under the same hypotheses — the attacker's
+	// actual gain.
+	TestAccStart, TestAccEnd float64
+}
+
+// RecoverKey hill-climbs the 256-bit device key against a published model:
+// starting from the all-zero key, it flips one hypothesized bit at a time
+// (random order, repeated rounds) and keeps flips that improve thief-set
+// accuracy under scheme.Unlock. Per-neuron XOR locking gives each bit a
+// local, measurable effect and is expected to leak; cipher- and
+// permutation-based schemes rekey the whole derived stream on any single
+// bit flip, so the climb has no gradient to follow.
+func RecoverKey(scheme lockscheme.Scheme, published *core.Model, sched *schedule.Schedule, ds *dataset.Dataset, cfg SchemeKeyRecoveryConfig) (SchemeKeyRecoveryResult, error) {
+	res := SchemeKeyRecoveryResult{Scheme: scheme.Name()}
+	if cfg.ThiefFrac <= 0 || cfg.ThiefFrac > 1 {
+		return res, fmt.Errorf("attack: thief fraction %v out of (0,1]", cfg.ThiefFrac)
+	}
+	if cfg.MaxQueries <= 0 {
+		cfg.MaxQueries = 512
+	}
+	thiefX, thiefY := ds.ThiefSubset(cfg.ThiefFrac, cfg.ThiefSeed)
+	res.ThiefSamples = len(thiefY)
+	if res.ThiefSamples == 0 {
+		return res, fmt.Errorf("attack: empty thief set")
+	}
+
+	evalKey := func(k keys.Key, x *tensor.Tensor, y []int) (float64, error) {
+		m, err := evalUnlocked(scheme, published, k, sched)
+		if err != nil {
+			return 0, err
+		}
+		return m.Accuracy(x, y, 64), nil
+	}
+	evalThief := func(k keys.Key) (float64, error) {
+		res.Queries++
+		return evalKey(k, thiefX, thiefY)
+	}
+
+	var hyp keys.Key // all-zero start: the attacker knows nothing
+	var err error
+	if res.TestAccStart, err = evalKey(hyp, ds.TestX, ds.TestY); err != nil {
+		return res, err
+	}
+	best, err := evalThief(hyp)
+	if err != nil {
+		return res, err
+	}
+	res.ThiefAccStart = best
+
+	// Rounds of greedy single-bit flips until the budget runs out or a
+	// full round accepts nothing.
+	r := rng.New(cfg.Seed)
+	for res.Queries < cfg.MaxQueries {
+		order := r.Perm(keys.KeyBits)
+		flippedThisRound := 0
+		for _, bit := range order {
+			if res.Queries >= cfg.MaxQueries {
+				break
+			}
+			cand := hyp.FlipBit(bit)
+			res.BitsTried++
+			acc, err := evalThief(cand)
+			if err != nil {
+				return res, err
+			}
+			if acc > best {
+				best, hyp = acc, cand
+				res.BitsFlipped++
+				flippedThisRound++
+			}
+		}
+		if flippedThisRound == 0 {
+			break
+		}
+	}
+	res.ThiefAccEnd = best
+	if res.TestAccEnd, err = evalKey(hyp, ds.TestX, ds.TestY); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// TrojanConfig budgets the logic-locking neural-trojan attack (after Xu et
+// al.): an insider holding a valid key searches for a perturbed key within
+// a Hamming budget that selectively breaks one class while keeping overall
+// accuracy — turning the lock itself into a trojan trigger.
+type TrojanConfig struct {
+	// TargetClass is the class the trojaned key should degrade.
+	TargetClass int
+	// MaxFlips is the Hamming budget on the provisioned key.
+	MaxFlips int
+	// CleanDropTol is the largest tolerated drop in off-target accuracy; a
+	// candidate flip violating it is rejected (the trojan must stay
+	// stealthy).
+	CleanDropTol float64
+	// MaxQueries caps evaluation queries.
+	MaxQueries int
+	// Seed randomizes the key-bit visit order.
+	Seed uint64
+}
+
+func (c TrojanConfig) withDefaults() TrojanConfig {
+	if c.MaxFlips <= 0 {
+		c.MaxFlips = 16
+	}
+	if c.CleanDropTol <= 0 {
+		c.CleanDropTol = 0.10
+	}
+	if c.MaxQueries <= 0 {
+		c.MaxQueries = 256
+	}
+	return c
+}
+
+// TrojanResult summarizes a trojan-key search.
+type TrojanResult struct {
+	Scheme      string
+	TargetClass int
+	// Flips is the Hamming distance of the trojaned key from the true key;
+	// Queries the evaluations spent.
+	Flips, Queries int
+	// Off-target ("clean") and target-class accuracy under the true key
+	// and under the trojaned key.
+	CleanAccStart, CleanAccEnd   float64
+	TargetAccStart, TargetAccEnd float64
+	// Success: target-class accuracy at most halved-from-start while clean
+	// accuracy stayed within CleanDropTol.
+	Success bool
+}
+
+// Trojan searches for a trojaned key near trueKey that collapses
+// cfg.TargetClass while preserving the other classes, evaluating on the
+// test split of ds. Per-neuron XOR locking is expected to admit such keys —
+// each bit touches an attributable subset of neurons — while avalanche-type
+// schemes (cipher, permutation) destroy the whole model on any flip and so
+// resist the trojan.
+func Trojan(scheme lockscheme.Scheme, published *core.Model, trueKey keys.Key, sched *schedule.Schedule, ds *dataset.Dataset, cfg TrojanConfig) (TrojanResult, error) {
+	cfg = cfg.withDefaults()
+	res := TrojanResult{Scheme: scheme.Name(), TargetClass: cfg.TargetClass}
+
+	targetX, targetY, cleanX, cleanY := splitByClass(ds.TestX, ds.TestY, cfg.TargetClass)
+	if len(targetY) == 0 || len(cleanY) == 0 {
+		return res, fmt.Errorf("attack: class %d split leaves an empty side (%d target, %d clean)",
+			cfg.TargetClass, len(targetY), len(cleanY))
+	}
+
+	eval := func(k keys.Key) (clean, target float64, err error) {
+		res.Queries++
+		m, err := evalUnlocked(scheme, published, k, sched)
+		if err != nil {
+			return 0, 0, err
+		}
+		return m.Accuracy(cleanX, cleanY, 64), m.Accuracy(targetX, targetY, 64), nil
+	}
+
+	cleanStart, targetStart, err := eval(trueKey)
+	if err != nil {
+		return res, err
+	}
+	res.CleanAccStart, res.TargetAccStart = cleanStart, targetStart
+	res.CleanAccEnd, res.TargetAccEnd = cleanStart, targetStart
+
+	hyp := trueKey
+	bestTarget := targetStart
+	r := rng.New(cfg.Seed)
+	for res.Flips < cfg.MaxFlips && res.Queries < cfg.MaxQueries {
+		order := r.Perm(keys.KeyBits)
+		accepted := false
+		for _, bit := range order {
+			if res.Flips >= cfg.MaxFlips || res.Queries >= cfg.MaxQueries {
+				break
+			}
+			cand := hyp.FlipBit(bit)
+			clean, target, err := eval(cand)
+			if err != nil {
+				return res, err
+			}
+			if target < bestTarget && clean >= cleanStart-cfg.CleanDropTol {
+				hyp, bestTarget = cand, target
+				res.Flips = trueKey.HammingDistance(hyp)
+				res.CleanAccEnd, res.TargetAccEnd = clean, target
+				accepted = true
+			}
+		}
+		if !accepted {
+			break
+		}
+	}
+	res.Success = res.TargetAccEnd <= 0.5*res.TargetAccStart &&
+		res.CleanAccEnd >= res.CleanAccStart-cfg.CleanDropTol
+	return res, nil
+}
+
+// splitByClass partitions (x, y) into target-class and off-target tensors.
+func splitByClass(x *tensor.Tensor, y []int, class int) (tx *tensor.Tensor, ty []int, cx *tensor.Tensor, cy []int) {
+	n := x.Shape[0]
+	feat := x.Len() / n
+	var tIdx, cIdx []int
+	for i, label := range y {
+		if label == class {
+			tIdx = append(tIdx, i)
+		} else {
+			cIdx = append(cIdx, i)
+		}
+	}
+	gather := func(idx []int) (*tensor.Tensor, []int) {
+		shape := append([]int{len(idx)}, x.Shape[1:]...)
+		out := tensor.New(shape...)
+		labels := make([]int, len(idx))
+		for j, i := range idx {
+			copy(out.Data[j*feat:(j+1)*feat], x.Data[i*feat:(i+1)*feat])
+			labels[j] = y[i]
+		}
+		return out, labels
+	}
+	tx, ty = gather(tIdx)
+	cx, cy = gather(cIdx)
+	return tx, ty, cx, cy
+}

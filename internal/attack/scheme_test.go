@@ -1,0 +1,165 @@
+package attack
+
+import (
+	"testing"
+
+	"hpnn/internal/core"
+	"hpnn/internal/dataset"
+	"hpnn/internal/keys"
+	"hpnn/internal/lockscheme"
+	"hpnn/internal/rng"
+	"hpnn/internal/schedule"
+)
+
+// weightFixture trains a small plaintext MLP once for the weight-space
+// scheme attacks (cipher/permutation schemes train in plaintext).
+type weightFixture struct {
+	plain    *core.Model
+	ds       *dataset.Dataset
+	key      keys.Key
+	sched    *schedule.Schedule
+	ownerAcc float64
+}
+
+var sharedWeight *weightFixture
+
+func getWeightFixture(t *testing.T) *weightFixture {
+	t.Helper()
+	if sharedWeight != nil {
+		return sharedWeight
+	}
+	ds, err := dataset.Generate(dataset.Config{
+		Name: "fashion", TrainN: 400, TestN: 200, H: 8, W: 8, Seed: 70,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.MustModel(core.Config{Arch: core.MLP, InC: 1, InH: 8, InW: 8, Seed: 71})
+	res := core.Train(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, core.TrainConfig{
+		Epochs: 8, BatchSize: 32, LR: 0.05, Momentum: 0.9, Seed: 72,
+	})
+	sharedWeight = &weightFixture{
+		plain: m, ds: ds,
+		key:      keys.Generate(rng.New(73)),
+		sched:    schedule.New(keys.KeyBits, 74),
+		ownerAcc: res.FinalTestAcc(),
+	}
+	if sharedWeight.ownerAcc < 0.6 {
+		t.Fatalf("plaintext victim failed to train: %.3f", sharedWeight.ownerAcc)
+	}
+	return sharedWeight
+}
+
+// publishUnder publishes a clone of the fixture's plaintext model under the
+// named weight-space scheme.
+func (f *weightFixture) publishUnder(t *testing.T, name string) (lockscheme.Scheme, *core.Model) {
+	t.Helper()
+	scheme, err := lockscheme.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := f.plain.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scheme.Publish(pub, keys.NewDevice("owner", f.key), f.sched); err != nil {
+		t.Fatal(err)
+	}
+	return scheme, pub
+}
+
+// Greedy device-key recovery cannot climb an avalanche cipher: every
+// single-bit hypothesis change rekeys the entire stream, so the attack ends
+// as far from the owner's accuracy as it began.
+func TestRecoverKeyFailsAgainstCipherSchemes(t *testing.T) {
+	f := getWeightFixture(t)
+	for _, name := range []string{"deeplock", "pufshuffle"} {
+		scheme, pub := f.publishUnder(t, name)
+		res, err := RecoverKey(scheme, pub, f.sched, f.ds, SchemeKeyRecoveryConfig{
+			ThiefFrac: 0.2, ThiefSeed: 1, MaxQueries: 80, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TestAccEnd > f.ownerAcc-0.2 {
+			t.Errorf("%s: key recovery reached %.3f (owner %.3f) — avalanche scheme leaked",
+				name, res.TestAccEnd, f.ownerAcc)
+		}
+		if res.ThiefAccEnd < res.ThiefAccStart {
+			t.Errorf("%s: greedy climb regressed %.3f -> %.3f", name, res.ThiefAccStart, res.ThiefAccEnd)
+		}
+	}
+}
+
+// The per-neuron XOR scheme gives every key bit a local, attributable
+// effect: greedy recovery must make strictly more progress against it than
+// against the avalanche schemes under the same budget.
+func TestRecoverKeyClimbsHPNNButNotCipher(t *testing.T) {
+	wf := getWeightFixture(t)
+	hf := getFixture(t)
+
+	hpnnRes, err := RecoverKey(lockscheme.Default(), hf.victim, schedule.New(keys.KeyBits, 53), hf.ds,
+		SchemeKeyRecoveryConfig{ThiefFrac: 0.2, ThiefSeed: 1, MaxQueries: 80, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, pub := wf.publishUnder(t, "deeplock")
+	dlRes, err := RecoverKey(scheme, pub, wf.sched, wf.ds,
+		SchemeKeyRecoveryConfig{ThiefFrac: 0.2, ThiefSeed: 1, MaxQueries: 80, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpnnGain := hpnnRes.ThiefAccEnd - hpnnRes.ThiefAccStart
+	dlGain := dlRes.ThiefAccEnd - dlRes.ThiefAccStart
+	if hpnnRes.BitsFlipped == 0 {
+		t.Error("hpnn-xor: greedy recovery accepted no flips — per-bit locality lost")
+	}
+	if hpnnGain < dlGain {
+		t.Errorf("hpnn-xor gain %.3f below deeplock gain %.3f — expected XOR locality to leak more", hpnnGain, dlGain)
+	}
+}
+
+// Avalanche schemes resist the logic-locking trojan: no single key-bit flip
+// can degrade one class while keeping the rest, because every flip destroys
+// the whole model and violates the stealth constraint.
+func TestTrojanRejectedByAvalancheSchemes(t *testing.T) {
+	f := getWeightFixture(t)
+	for _, name := range []string{"deeplock", "pufshuffle"} {
+		scheme, pub := f.publishUnder(t, name)
+		res, err := Trojan(scheme, pub, f.key, f.sched, f.ds, TrojanConfig{
+			TargetClass: 0, MaxFlips: 8, CleanDropTol: 0.10, MaxQueries: 64, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Flips != 0 {
+			t.Errorf("%s: trojan accepted %d stealthy flips, want 0", name, res.Flips)
+		}
+		if res.Success {
+			t.Errorf("%s: trojan reported success against an avalanche scheme", name)
+		}
+	}
+}
+
+// Against the per-neuron XOR scheme the trojan search at least finds
+// stealthy flips that bias the target class downward — the scenario Xu et
+// al. warn about.
+func TestTrojanFindsStealthyFlipsOnHPNN(t *testing.T) {
+	f := getFixture(t)
+	res, err := Trojan(lockscheme.Default(), f.victim, keys.Generate(rng.New(52)),
+		schedule.New(keys.KeyBits, 53), f.ds, TrojanConfig{
+			TargetClass: 0, MaxFlips: 12, CleanDropTol: 0.10, MaxQueries: 120, Seed: 3,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips == 0 {
+		t.Error("hpnn-xor: trojan found no stealthy flips — expected per-bit locality to admit some")
+	}
+	if res.TargetAccEnd > res.TargetAccStart {
+		t.Errorf("trojan raised target accuracy %.3f -> %.3f", res.TargetAccStart, res.TargetAccEnd)
+	}
+	if res.CleanAccEnd < res.CleanAccStart-0.10 {
+		t.Errorf("trojan violated stealth constraint: clean %.3f -> %.3f", res.CleanAccStart, res.CleanAccEnd)
+	}
+}

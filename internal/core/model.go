@@ -15,6 +15,11 @@ type Model struct {
 	Config Config
 	Net    *nn.Network
 
+	// Scheme is the lock-scheme identifier the model was published under
+	// (package lockscheme). Empty means the default HPNN XOR scheme, which
+	// keeps pre-scheme serialized artifacts byte-identical.
+	Scheme string
+
 	locks []*nn.Lock
 
 	// Cached batch-view header and shape for evaluation: Predict slices the
@@ -153,6 +158,27 @@ func (m *Model) Accuracy(x *tensor.Tensor, y []int, batchSize int) float64 {
 		}
 	}
 	return float64(correct) / float64(len(y))
+}
+
+// Clone returns a deep copy of the model: weights, batch-norm statistics,
+// lock state and scheme identifier. Lock schemes that transform the weight
+// space (ciphers, permutations) clone before unlocking so the published
+// artifact itself stays untouched.
+func (m *Model) Clone() (*Model, error) {
+	c, err := NewModel(m.Config)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CloneWeightsTo(c); err != nil {
+		return nil, err
+	}
+	for i, l := range m.locks {
+		cl := c.locks[i]
+		copy(cl.Factors, l.Factors)
+		cl.Engaged = l.Engaged
+	}
+	c.Scheme = m.Scheme
+	return c, nil
 }
 
 // CloneWeightsTo copies m's parameter values into dst, which must have an

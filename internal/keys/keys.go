@@ -183,6 +183,61 @@ func (d *Device) Fingerprint() string {
 	return fmt.Sprintf("%016x", h)
 }
 
+// revokedNow reports whether this device's license has been pulled.
+func (d *Device) revokedNow() bool {
+	return d.authority != nil && d.authority.Revoked(d.serial)
+}
+
+// derive returns a generator keyed by the sealed key and a domain label.
+// Every key byte feeds the seed chain, so flipping any single key bit
+// rekeys the whole derived stream (the avalanche the cipher- and
+// permutation-based lock schemes rely on). The raw key never leaves the
+// device: only the mixed stream does.
+func (d *Device) derive(domain string) *rng.Rand {
+	h := rng.Mix64(0x4c4f434b) // "LOCK"
+	for _, b := range d.key.b {
+		h = rng.Mix64(h ^ uint64(b))
+	}
+	for _, c := range domain {
+		h = rng.Mix64(h ^ uint64(c))
+	}
+	return rng.NewStream(h, rng.Mix64(h^0x646f6d61696e)) // "domain"
+}
+
+// MaskStream returns n key-derived pseudo-random bytes for the given
+// domain label. Weight-cipher lock schemes use it as their keystream; like
+// ColumnBit it is a one-way query — the stream reveals nothing about the
+// raw key beyond its Mix64 image. A revoked device answers all zeros (the
+// identity mask), so a dead license can no longer decrypt anything.
+func (d *Device) MaskStream(domain string, n int) []byte {
+	out := make([]byte, n)
+	if d.revokedNow() {
+		return out
+	}
+	r := d.derive(domain)
+	for i := 0; i < n; i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}
+
+// Permutation returns a key-derived permutation of [0, n) for the given
+// domain label — the query behind permutation/shuffle lock schemes. A
+// revoked device answers the identity permutation.
+func (d *Device) Permutation(domain string, n int) []int {
+	if d.revokedNow() {
+		p := make([]int, n)
+		for i := range p {
+			p[i] = i
+		}
+		return p
+	}
+	return d.derive(domain).Perm(n)
+}
+
 // Authority is the owner-side licensing service of Fig. 1: it provisions
 // trusted devices (the "licenses" distributed to authorized end-users),
 // tracks their serials and supports revocation. Revoked devices stop

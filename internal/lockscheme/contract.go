@@ -1,0 +1,285 @@
+package lockscheme
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"hpnn/internal/core"
+	"hpnn/internal/dataset"
+	"hpnn/internal/keys"
+	"hpnn/internal/rng"
+	"hpnn/internal/schedule"
+)
+
+// This file is the shared scheme-contract suite: the behavioral obligations
+// every registered backend must meet, checked against a freshly trained
+// victim. The clauses are the security claims the rest of the repo builds
+// on:
+//
+//  1. roundtrip  — Publish followed by Unlock on the owner's device restores
+//     the owner's model bitwise (weights and predictions).
+//  2. collapse   — the commodity view (Unlock with no device) loses at
+//     least MinCollapse accuracy versus the owner.
+//  3. far keys   — a key at maximal probed Hamming distance collapses too;
+//     the full distance curve is reported for the cross-scheme bench.
+//  4. no leakage — the published artifact contains no raw key bytes and no
+//     engaged lock state; key material exists only inside keys.Device.
+//  5. revocation — a revoked device unlocks to a collapsed model, never to
+//     the owner's accuracy.
+//
+// The suite runs from `go test ./internal/lockscheme/` (all backends) and in
+// quick form from scripts/check.sh.
+
+// ContractConfig sizes the contract suite's victim and probes.
+type ContractConfig struct {
+	// Victim scale: a fashion-MLP victim of TrainN/TestN samples at
+	// ImgSize² pixels, trained for Epochs.
+	TrainN, TestN, ImgSize, Epochs int
+	// Distances are the probed wrong-key Hamming distances; WrongKeys is
+	// the number of sampled keys averaged per distance.
+	Distances []int
+	WrongKeys int
+	// MinOwnerAcc gates the fixture (a victim that failed to train proves
+	// nothing); MinCollapse is the accuracy drop demanded from the no-key,
+	// far-key and revoked views.
+	MinOwnerAcc, MinCollapse float64
+	// Seed derives every random stream of the suite.
+	Seed uint64
+}
+
+// QuickContract is the scripts/check.sh profile: a small victim, two probed
+// distances, single-key sampling. Runs in seconds per scheme.
+func QuickContract() ContractConfig {
+	return ContractConfig{
+		TrainN: 300, TestN: 150, ImgSize: 8, Epochs: 6,
+		Distances:   []int{1, keys.KeyBits / 2},
+		WrongKeys:   1,
+		MinOwnerAcc: 0.55, MinCollapse: 0.15,
+		Seed: 977,
+	}
+}
+
+// FullContract is the go-test profile: a larger victim and a denser
+// Hamming-sensitivity curve.
+func FullContract() ContractConfig {
+	return ContractConfig{
+		TrainN: 500, TestN: 200, ImgSize: 8, Epochs: 8,
+		Distances:   []int{1, 4, 16, 64, keys.KeyBits / 2},
+		WrongKeys:   2,
+		MinOwnerAcc: 0.6, MinCollapse: 0.2,
+		Seed: 977,
+	}
+}
+
+// ContractReport carries the measured numbers behind a contract run — the
+// cross-scheme bench renders these side by side.
+type ContractReport struct {
+	Scheme      string
+	OwnerAcc    float64
+	UnlockedAcc float64 // published + Unlock(owner device)
+	NoKeyAcc    float64 // published + Unlock(nil): the thief's view
+	RevokedAcc  float64 // published + Unlock(revoked device)
+	Distances   []int
+	WrongKeyAcc []float64 // mean accuracy at each probed Hamming distance
+}
+
+// RunContract trains a victim under the scheme's lifecycle and checks every
+// contract clause, returning the measured report and the violations (empty
+// means the scheme honors the contract).
+func RunContract(s Scheme, cfg ContractConfig) (ContractReport, []error) {
+	rep := ContractReport{Scheme: s.Name(), Distances: cfg.Distances}
+	var violations []error
+	fail := func(format string, args ...any) {
+		violations = append(violations, fmt.Errorf("%s: "+format, append([]any{s.Name()}, args...)...))
+	}
+
+	ds, err := dataset.Generate(dataset.Config{
+		Name: "fashion", TrainN: cfg.TrainN, TestN: cfg.TestN,
+		H: cfg.ImgSize, W: cfg.ImgSize, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return rep, append(violations, err)
+	}
+	m, err := core.NewModel(core.Config{
+		Arch: core.MLP, InC: 1, InH: cfg.ImgSize, InW: cfg.ImgSize, Seed: cfg.Seed + 2,
+	})
+	if err != nil {
+		return rep, append(violations, err)
+	}
+	key := keys.Generate(rng.New(cfg.Seed + 3))
+	sched := schedule.New(keys.KeyBits, cfg.Seed+4)
+	auth := keys.NewAuthority(key)
+	dev, err := auth.Issue("contract-owner")
+	if err != nil {
+		return rep, append(violations, err)
+	}
+
+	// Owner lifecycle: instrument, train, measure the reference accuracy.
+	if err := s.InstrumentTraining(m, dev, sched); err != nil {
+		return rep, append(violations, err)
+	}
+	core.Train(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, core.TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: 32, LR: 0.05, Momentum: 0.9, Seed: cfg.Seed + 5,
+	})
+	rep.OwnerAcc = m.Accuracy(ds.TestX, ds.TestY, 64)
+	if rep.OwnerAcc < cfg.MinOwnerAcc {
+		fail("victim failed to train (owner accuracy %.3f < %.3f)", rep.OwnerAcc, cfg.MinOwnerAcc)
+		return rep, violations
+	}
+	ownerBits := paramBits(m)
+	ownerPreds := m.Predict(ds.TestX, 64)
+
+	// Publish on a clone; the owner's model is the roundtrip reference.
+	pub, err := m.Clone()
+	if err != nil {
+		return rep, append(violations, err)
+	}
+	if err := s.Publish(pub, dev, sched); err != nil {
+		return rep, append(violations, err)
+	}
+	if Canonical(pub.Scheme) != s.Name() {
+		fail("Publish stamped scheme %q, want %q", pub.Scheme, s.Name())
+	}
+
+	// Clause 4 — no key material in the published artifact: the raw key must
+	// not appear in the parameter image, and no lock layer may stay engaged
+	// or keep non-identity factors (the wire format never carries them).
+	if bytes.Contains(paramImage(pub), key.Bytes()) {
+		fail("published parameters contain the raw device key")
+	}
+	for _, l := range pub.Locks() {
+		if l.Engaged {
+			fail("published artifact leaves lock %s engaged", l.ID)
+		}
+		for _, f := range l.Factors {
+			if f != 1 {
+				fail("published artifact leaks key bits through lock %s factors", l.ID)
+				break
+			}
+		}
+	}
+
+	unlock := func(d *keys.Device) (*core.Model, error) {
+		c, err := pub.Clone()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Unlock(c, d, sched); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+
+	// Clause 1 — roundtrip: unlocking on the owner's device restores the
+	// trained weights bit-for-bit and reproduces the owner's predictions.
+	got, err := unlock(dev)
+	if err != nil {
+		return rep, append(violations, err)
+	}
+	rep.UnlockedAcc = got.Accuracy(ds.TestX, ds.TestY, 64)
+	if diff := bitsDiffer(ownerBits, paramBits(got)); diff != "" {
+		fail("publish/unlock roundtrip is not bitwise: %s", diff)
+	}
+	for i, p := range got.Predict(ds.TestX, 64) {
+		if p != ownerPreds[i] {
+			fail("publish/unlock roundtrip changes prediction for test sample %d", i)
+			break
+		}
+	}
+
+	// Clause 2 — commodity collapse: the no-key view must be far below the
+	// owner.
+	noKey, err := unlock(nil)
+	if err != nil {
+		return rep, append(violations, err)
+	}
+	rep.NoKeyAcc = noKey.Accuracy(ds.TestX, ds.TestY, 64)
+	if rep.NoKeyAcc > rep.OwnerAcc-cfg.MinCollapse {
+		fail("no-key accuracy %.3f too close to owner %.3f (want a drop of at least %.2f)",
+			rep.NoKeyAcc, rep.OwnerAcc, cfg.MinCollapse)
+	}
+
+	// Clause 3 — wrong-key sensitivity: measure the Hamming curve; the
+	// farthest probed key must collapse.
+	r := rng.New(cfg.Seed + 6)
+	for _, d := range cfg.Distances {
+		sum := 0.0
+		for k := 0; k < cfg.WrongKeys; k++ {
+			wrong, err := unlock(keys.NewDevice("contract-wrong", key.FlipRandomBits(r, d)))
+			if err != nil {
+				return rep, append(violations, err)
+			}
+			sum += wrong.Accuracy(ds.TestX, ds.TestY, 64)
+		}
+		rep.WrongKeyAcc = append(rep.WrongKeyAcc, sum/float64(cfg.WrongKeys))
+	}
+	if far := rep.WrongKeyAcc[len(rep.WrongKeyAcc)-1]; far > rep.OwnerAcc-cfg.MinCollapse {
+		fail("key at Hamming distance %d still reaches %.3f (owner %.3f)",
+			cfg.Distances[len(cfg.Distances)-1], far, rep.OwnerAcc)
+	}
+
+	// Clause 5 — revocation: a pulled license must not unlock the model.
+	if err := auth.Revoke(dev.Serial()); err != nil {
+		return rep, append(violations, err)
+	}
+	revoked, err := unlock(dev)
+	if err != nil {
+		return rep, append(violations, err)
+	}
+	rep.RevokedAcc = revoked.Accuracy(ds.TestX, ds.TestY, 64)
+	if rep.RevokedAcc > rep.OwnerAcc-cfg.MinCollapse {
+		fail("revoked device still unlocks to %.3f (owner %.3f)", rep.RevokedAcc, rep.OwnerAcc)
+	}
+	return rep, violations
+}
+
+// paramBits snapshots every trainable parameter as raw float bits.
+func paramBits(m *core.Model) []uint64 {
+	var out []uint64
+	for _, p := range m.Net.Params() {
+		for _, v := range p.Value.Data {
+			out = append(out, math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+// bitsDiffer reports the first mismatch between two parameter snapshots
+// ("" when identical).
+func bitsDiffer(a, b []uint64) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("parameter count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("parameter word %d: %016x vs %016x", i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+// paramImage serializes the parameters (and lock factors) of a model into
+// the byte image a published artifact would expose, for the leakage scan.
+func paramImage(m *core.Model) []byte {
+	var buf bytes.Buffer
+	var w [8]byte
+	putF64 := func(v float64) {
+		bits := math.Float64bits(v)
+		for j := 0; j < 8; j++ {
+			w[j] = byte(bits >> (8 * j))
+		}
+		buf.Write(w[:])
+	}
+	for _, p := range m.Net.Params() {
+		for _, v := range p.Value.Data {
+			putF64(v)
+		}
+	}
+	for _, l := range m.Locks() {
+		for _, f := range l.Factors {
+			putF64(f)
+		}
+	}
+	return buf.Bytes()
+}

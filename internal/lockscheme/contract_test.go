@@ -1,0 +1,64 @@
+package lockscheme
+
+import "testing"
+
+// TestSchemeContract runs the shared contract suite against every registered
+// backend. A new scheme that registers itself is picked up automatically; if
+// it cannot honor the five clauses it does not belong in the registry.
+func TestSchemeContract(t *testing.T) {
+	cfg := FullContract()
+	if testing.Short() {
+		cfg = QuickContract()
+	}
+	for _, name := range Names() {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			rep, violations := RunContract(s, cfg)
+			for _, v := range violations {
+				t.Error(v)
+			}
+			t.Logf("owner %.3f, unlocked %.3f, no-key %.3f, revoked %.3f, wrong-key %v @ %v",
+				rep.OwnerAcc, rep.UnlockedAcc, rep.NoKeyAcc, rep.RevokedAcc, rep.WrongKeyAcc, rep.Distances)
+		})
+	}
+}
+
+// TestRegistryResolution pins the registry semantics the serializers and
+// CLIs rely on: empty resolves to the default, unknown names error, and the
+// canonical form of a v1 (empty) identifier is the paper's scheme.
+func TestRegistryResolution(t *testing.T) {
+	if def := Default().Name(); def != DefaultName {
+		t.Errorf("Default().Name() = %q, want %q", def, DefaultName)
+	}
+	s, err := Get("")
+	if err != nil || s.Name() != DefaultName {
+		t.Errorf(`Get("") = %v, %v; want the default scheme`, s, err)
+	}
+	if _, err := Get("no-such-scheme"); err == nil {
+		t.Error("Get accepted an unknown scheme name")
+	}
+	if !Valid("") || !Valid(DefaultName) || Valid("no-such-scheme") {
+		t.Error("Valid misclassifies scheme identifiers")
+	}
+	if got := Canonical(""); got != DefaultName {
+		t.Errorf(`Canonical("") = %q, want %q`, got, DefaultName)
+	}
+	if !IsDefault("") || !IsDefault(DefaultName) || IsDefault("deeplock") {
+		t.Error("IsDefault misclassifies scheme identifiers")
+	}
+	names := Names()
+	for _, want := range []string{DefaultName, "deeplock", "pufshuffle"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() = %v missing %q", names, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package lockscheme
+
+import (
+	"fmt"
+	"math"
+
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/schedule"
+)
+
+// deepLock is a Deep-Lock-style keyed weight cipher (Alam & Mukhopadhyay:
+// every weight of the network encrypted under a key-scheduled block cipher).
+// Here the cipher is a device-derived keystream XORed into the sign and
+// mantissa bits of each float64 parameter; the exponent is left untouched so
+// ciphered weights are always finite and the transform is exactly
+// involutive. Sign flips plus full mantissa scrambling collapse accuracy to
+// chance while keeping the published artifact a well-formed model file.
+//
+// Training is plaintext; the entire protection is the post-training cipher,
+// so — unlike hpnn-xor — the scheme needs no key-dependent training step and
+// no in-datapath hardware support beyond the sealed keystream query.
+type deepLock struct{}
+
+func init() { Register(deepLock{}) }
+
+// deepLockMask selects the ciphered bits of each float64: sign + 52-bit
+// mantissa. Exponent bits stay, keeping every ciphered value finite.
+const deepLockMask = 0x800FFFFFFFFFFFFF
+
+func (deepLock) Name() string { return "deeplock" }
+
+func (deepLock) Describe() string {
+	return "keyed per-weight cipher over sign+mantissa bits (Deep-Lock style)"
+}
+
+// InstrumentTraining is a no-op: Deep-Lock trains in plaintext.
+func (deepLock) InstrumentTraining(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error {
+	if dev == nil {
+		return fmt.Errorf("lockscheme: deeplock training requires a key device")
+	}
+	return nil
+}
+
+// Publish ciphers every trainable parameter in place under the device's
+// keystream and stamps the scheme.
+func (d deepLock) Publish(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error {
+	if dev == nil {
+		return fmt.Errorf("lockscheme: deeplock publish requires a key device")
+	}
+	d.xorParams(m, dev)
+	scrubLocks(m)
+	m.Scheme = d.Name()
+	return nil
+}
+
+// Unlock applies the same involutive keystream: the right device recovers
+// the plaintext weights bit-for-bit, a wrong device re-scrambles, and a nil
+// device (thief, commodity hardware) leaves the published ciphertext as-is.
+func (d deepLock) Unlock(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error {
+	if dev == nil {
+		return nil
+	}
+	d.xorParams(m, dev)
+	return nil
+}
+
+// xorParams XORs the device keystream into sign+mantissa of every
+// parameter. The per-parameter domain label binds the stream to the
+// parameter's identity, so reordering tensors does not align ciphertext.
+func (deepLock) xorParams(m *core.Model, dev *keys.Device) {
+	for _, p := range m.Net.Params() {
+		data := p.Value.Data
+		mask := dev.MaskStream("deeplock/"+p.Name, 8*len(data))
+		for i, v := range data {
+			var mv uint64
+			for j := 0; j < 8; j++ {
+				mv |= uint64(mask[8*i+j]) << (8 * j)
+			}
+			data[i] = math.Float64frombits(math.Float64bits(v) ^ (mv & deepLockMask))
+		}
+	}
+}
+
+// Lowering unlocks the whole model into a device-private clone at plan
+// compile time; the datapath itself runs unmodified (MACColumns nil), so no
+// accumulator is ever wrongly negated by this scheme.
+func (d deepLock) Lowering(dev *keys.Device, sched *schedule.Schedule) Lowering {
+	return weightSpaceLowering{scheme: d, dev: dev, sched: sched}
+}
+
+// weightSpaceLowering is the shared compile-time lowering for schemes that
+// protect the weight space rather than the datapath: clone the published
+// model inside the device boundary, run the scheme's Unlock on the clone,
+// and hand the compiler the clone. With a nil device the clone stays
+// ciphered/shuffled — commodity hardware faithfully executes garbage.
+type weightSpaceLowering struct {
+	scheme Scheme
+	dev    *keys.Device
+	sched  *schedule.Schedule
+}
+
+func (weightSpaceLowering) MACColumns(lockID string, n int) []int { return nil }
+
+func (l weightSpaceLowering) UnlockModel(m *core.Model) (*core.Model, error) {
+	c, err := m.Clone()
+	if err != nil {
+		return nil, err
+	}
+	// Published weight-space models carry disarmed (all-+1) lock layers;
+	// keep them disengaged on the execution clone so the fused plan ops
+	// see the plain baseline topology.
+	c.DisengageLocks()
+	if err := l.scheme.Unlock(c, l.dev, l.sched); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,79 @@
+package lockscheme
+
+import (
+	"fmt"
+
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/schedule"
+)
+
+// hpnnXOR is the source paper's scheme: every neuron of a nonlinear layer
+// is locked with one key bit through the private neuron→accumulator-column
+// schedule, and the lock is evaluated inside the MAC datapath (the XOR gate
+// on the accumulator sign). The weights themselves are published unchanged;
+// the protection comes from training against the engaged lock, which makes
+// the weights useless without it.
+type hpnnXOR struct{}
+
+func init() { Register(hpnnXOR{}) }
+
+func (hpnnXOR) Name() string { return DefaultName }
+
+func (hpnnXOR) Describe() string {
+	return "per-neuron XOR sign lock in the MAC datapath (the paper's HPNN)"
+}
+
+// InstrumentTraining engages every lock with the device's key bits, exactly
+// the owner's one-time pre-processing of §III-D3.
+func (hpnnXOR) InstrumentTraining(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error {
+	if dev == nil {
+		return fmt.Errorf("lockscheme: %s training requires a key device", DefaultName)
+	}
+	m.ApplyKey(dev, sched)
+	return nil
+}
+
+// Publish is weight-space identity: the published parameters are the
+// trained parameters. The lock layers are scrubbed — factors reset to +1
+// and disengaged — because the serialized model format never carries lock
+// state, so the in-memory published artifact must not either.
+func (hpnnXOR) Publish(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error {
+	if dev == nil {
+		return fmt.Errorf("lockscheme: %s publish requires a key device", DefaultName)
+	}
+	scrubLocks(m)
+	m.Scheme = DefaultName
+	return nil
+}
+
+// Unlock re-engages the locks from the device's key; with no device the
+// locks disengage — the thief's model running on the plain baseline
+// architecture.
+func (hpnnXOR) Unlock(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error {
+	if dev == nil {
+		m.DisengageLocks()
+		return nil
+	}
+	m.ApplyKey(dev, sched)
+	return nil
+}
+
+// Lowering drives the MMU's key-conditioned accumulators through the
+// schedule — the original hard-wired path, now behind the interface. The
+// golden pin tests hold this bitwise-equal to the pre-refactor compiler.
+func (hpnnXOR) Lowering(dev *keys.Device, sched *schedule.Schedule) Lowering {
+	return hpnnLowering{sched: sched}
+}
+
+type hpnnLowering struct {
+	sched *schedule.Schedule
+}
+
+func (l hpnnLowering) MACColumns(lockID string, n int) []int {
+	return l.sched.Assign(lockID, n)
+}
+
+func (hpnnLowering) UnlockModel(m *core.Model) (*core.Model, error) {
+	return nil, nil // execute the published model as-is; the lock lives in the datapath
+}

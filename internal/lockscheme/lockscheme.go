@@ -1,0 +1,187 @@
+// Package lockscheme defines the pluggable locking boundary of the HPNN
+// reproduction: what it means to entangle a model with a hardware-held key,
+// how that entanglement lowers onto the accelerator, and how key material is
+// provisioned — strictly through the sealed keys.Device query API.
+//
+// The paper's per-neuron XOR lock (hpnn-xor) is one point in a design space
+// that the related work maps out: Deep-Lock ciphers every weight under a
+// keyed stream, and PUF-bound permutation schemes shuffle weight order under
+// a device-derived permutation. Each backend implements Scheme; the tpu plan
+// compiler, the serving layer, the serializer and the attack suite are all
+// written against the interface, so adding a backend automatically extends
+// the CLIs, the contract suite and the cross-scheme attack bench.
+//
+// A Scheme's lifecycle mirrors the paper's Fig. 1 deployment flow:
+//
+//	InstrumentTraining  owner-side, pre-training: entangle the model with
+//	                    the key so SGD bakes the key into the weights
+//	                    (hpnn-xor) — weight-space schemes train plaintext
+//	                    and do nothing here.
+//	Publish             owner-side, post-training: transform the model into
+//	                    its published (distributed) form. Weight-space
+//	                    schemes cipher/permute the parameters here.
+//	Unlock              consumer-side reference semantics: given a trusted
+//	                    device, recover the usable model from the published
+//	                    form; given a nil device (commodity hardware /
+//	                    thief), produce whatever an attacker gets.
+//	Lowering            accelerator-side: how the scheme folds into the tpu
+//	                    plan compiler — per-MAC column assignments for the
+//	                    in-datapath XOR lock, or a sealed weight-space
+//	                    unlock at compile time for cipher/permutation
+//	                    schemes.
+package lockscheme
+
+import (
+	"fmt"
+	"sort"
+
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/schedule"
+)
+
+// DefaultName is the scheme of the source paper; it is what empty scheme
+// identifiers (pre-scheme checkpoints, zero-valued configs) resolve to.
+const DefaultName = "hpnn-xor"
+
+// Scheme is one locking mechanism. Implementations must be stateless value
+// types: all key material stays inside the keys.Device passed per call, and
+// one Scheme instance may serve many models concurrently.
+type Scheme interface {
+	// Name returns the stable registry identifier (also the serialized
+	// scheme ID in model files and checkpoints).
+	Name() string
+
+	// Describe returns a one-line human-readable summary for CLI listings.
+	Describe() string
+
+	// InstrumentTraining prepares a freshly initialized model for
+	// owner-side training under the device's key. dev must be non-nil.
+	InstrumentTraining(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error
+
+	// Publish transforms a trained model, in place, into its published
+	// form and stamps m.Scheme. dev must be non-nil.
+	Publish(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error
+
+	// Unlock recovers usable semantics from a published model, in place.
+	// A nil dev models the no-key attacker: the model is left in (or put
+	// into) exactly the state commodity hardware would execute.
+	Unlock(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error
+
+	// Lowering returns the accelerator-side hooks for running published
+	// models of this scheme on a device holding dev (nil = commodity).
+	Lowering(dev *keys.Device, sched *schedule.Schedule) Lowering
+}
+
+// Lowering is the plan-compile-time contract between a Scheme and the tpu
+// plan compiler. Both hooks run once per (accelerator, model) pair at
+// compile time, never on the per-sample inference path, so they are free to
+// allocate.
+type Lowering interface {
+	// MACColumns returns the accumulator-column assignment for the n
+	// outputs of the MAC stage feeding lock layer lockID, or nil when this
+	// scheme applies no in-datapath lock there. Non-nil assignments drive
+	// the MMU's key-conditioned accumulators (MatMulLockedInto).
+	MACColumns(lockID string, n int) []int
+
+	// UnlockModel maps the published model to the model the compiled plan
+	// should execute. Returning (nil, nil) means "execute m as-is" — the
+	// in-datapath schemes take that path, keeping the original HPNN
+	// pipeline bitwise intact. Weight-space schemes return a private
+	// device-side clone with the cipher/permutation removed; the published
+	// artifact is never mutated.
+	UnlockModel(m *core.Model) (*core.Model, error)
+}
+
+// scrubLocks strips lock state from a model being published: the serialized
+// format never carries lock factors (they are key material), so the
+// in-memory published artifact must not either. Every backend's Publish
+// calls this.
+func scrubLocks(m *core.Model) {
+	for _, l := range m.Locks() {
+		for i := range l.Factors {
+			l.Factors[i] = 1
+		}
+		l.Disengage()
+	}
+}
+
+// registry holds the built-in backends. Registration happens only from
+// package init functions; all later access is read-only, so no locking.
+var registry = map[string]Scheme{}
+
+// Register adds a backend. It panics on duplicate or empty names — both are
+// programmer errors in an init-time-only registry.
+func Register(s Scheme) {
+	name := s.Name()
+	if name == "" {
+		panic("lockscheme: empty scheme name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("lockscheme: duplicate scheme %q", name))
+	}
+	registry[name] = s
+}
+
+// Get resolves a scheme identifier. The empty string resolves to the
+// default (paper) scheme; unknown names are an error listing what exists.
+func Get(name string) (Scheme, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("lockscheme: unknown scheme %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Default returns the paper's HPNN XOR scheme.
+func Default() Scheme {
+	s, err := Get(DefaultName)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Valid reports whether name identifies a registered scheme ("" counts,
+// resolving to the default).
+//
+//hpnn:noalloc
+func Valid(name string) bool {
+	if name == "" {
+		return true
+	}
+	_, ok := registry[name]
+	return ok
+}
+
+// Names returns the registered scheme identifiers, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	//hpnn:allow(determinism) iteration order erased by the sort below
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Canonical normalizes a serialized scheme identifier: the empty string
+// (format v1 artifacts) becomes the default name.
+//
+//hpnn:noalloc
+func Canonical(name string) string {
+	if name == "" {
+		return DefaultName
+	}
+	return name
+}
+
+// IsDefault reports whether name (possibly empty) identifies the default
+// scheme — the serializers use it to keep default-scheme artifacts in the
+// original byte format.
+//
+//hpnn:noalloc
+func IsDefault(name string) bool { return Canonical(name) == DefaultName }

@@ -1,0 +1,95 @@
+package lockscheme
+
+import (
+	"fmt"
+
+	"hpnn/internal/core"
+	"hpnn/internal/keys"
+	"hpnn/internal/schedule"
+)
+
+// pufShuffle is a PUF-bound permutation scheme in the style of the
+// PUF-Transformer / Arnold-cat-map line of work (SNIPPETS.md §2): the
+// values of every parameter tensor are published in a key-derived shuffled
+// order. The device — standing in for a PUF whose response reconstructs the
+// permutation seed — inverts the shuffle at load time. Weight values are
+// preserved exactly (no arithmetic on them at all); only their positions
+// are secret, which already destroys the learned function: a convolution
+// whose taps are permuted is noise.
+type pufShuffle struct{}
+
+func init() { Register(pufShuffle{}) }
+
+func (pufShuffle) Name() string { return "pufshuffle" }
+
+func (pufShuffle) Describe() string {
+	return "PUF-bound keyed permutation of each weight tensor (ACM-shuffle style)"
+}
+
+// InstrumentTraining is a no-op: training is plaintext, protection is the
+// post-training shuffle.
+func (pufShuffle) InstrumentTraining(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error {
+	if dev == nil {
+		return fmt.Errorf("lockscheme: pufshuffle training requires a key device")
+	}
+	return nil
+}
+
+// Publish shuffles every parameter tensor in place under the device-derived
+// permutation: published[j] = plain[perm[j]].
+func (p pufShuffle) Publish(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error {
+	if dev == nil {
+		return fmt.Errorf("lockscheme: pufshuffle publish requires a key device")
+	}
+	p.apply(m, dev, false)
+	scrubLocks(m)
+	m.Scheme = p.Name()
+	return nil
+}
+
+// Unlock inverts the shuffle with the device's permutation; a nil device
+// leaves the published order untouched (the thief's view), and a wrong
+// device applies the inverse of an unrelated permutation — still shuffled.
+func (p pufShuffle) Unlock(m *core.Model, dev *keys.Device, sched *schedule.Schedule) error {
+	if dev == nil {
+		return nil
+	}
+	p.apply(m, dev, true)
+	return nil
+}
+
+// apply permutes every parameter tensor (forward or inverse) under the
+// device's per-parameter permutation. Runs only at publish/unlock time, so
+// the per-tensor scratch allocation is off the inference path.
+func (pufShuffle) apply(m *core.Model, dev *keys.Device, inverse bool) {
+	var scratch []float64
+	for _, p := range m.Net.Params() {
+		data := p.Value.Data
+		n := len(data)
+		if n < 2 {
+			continue
+		}
+		perm := dev.Permutation("pufshuffle/"+p.Name, n)
+		if cap(scratch) < n {
+			scratch = make([]float64, n)
+		}
+		tmp := scratch[:n]
+		copy(tmp, data)
+		if inverse {
+			for j, src := range perm {
+				data[src] = tmp[j]
+			}
+		} else {
+			for j, src := range perm {
+				data[j] = tmp[src]
+			}
+		}
+	}
+}
+
+// Lowering shares the weight-space compile-time unlock: the datapath is
+// untouched, the device unshuffles into a private clone before the plan is
+// compiled.
+func (p pufShuffle) Lowering(dev *keys.Device, sched *schedule.Schedule) Lowering {
+	return weightSpaceLowering{scheme: p, dev: dev, sched: sched}
+}

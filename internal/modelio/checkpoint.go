@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"hpnn/internal/core"
+	"hpnn/internal/lockscheme"
 	"hpnn/internal/train"
 )
 
@@ -34,8 +35,14 @@ import (
 // ckptMagic identifies serialized HPNN training checkpoints.
 var ckptMagic = [4]byte{'H', 'P', 'C', 'K'}
 
-// ckptVersion is bumped on incompatible layout changes.
-const ckptVersion uint32 = 1
+// Checkpoint versions. Version 1 is the original layout, implicitly the
+// default HPNN XOR scheme; version 2 inserts the lock-scheme identifier
+// right after the version word (mirroring the model format). Default-scheme
+// checkpoints keep writing version 1, preserving pre-scheme bytes exactly.
+const (
+	ckptVersion   uint32 = 1
+	ckptVersionV2 uint32 = 2
+)
 
 // Defensive bounds for the decoder (fuzzed; see FuzzDecodeCheckpoint).
 const (
@@ -54,8 +61,20 @@ func SaveCheckpoint(w io.Writer, m *core.Model, st train.State) error {
 	if _, err := bw.Write(ckptMagic[:]); err != nil {
 		return err
 	}
-	if err := writeU32(bw, ckptVersion); err != nil {
-		return err
+	if !lockscheme.Valid(m.Scheme) {
+		return fmt.Errorf("modelio: model stamped with unknown lock scheme %q", m.Scheme)
+	}
+	if lockscheme.IsDefault(m.Scheme) {
+		if err := writeU32(bw, ckptVersion); err != nil {
+			return err
+		}
+	} else {
+		if err := writeU32(bw, ckptVersionV2); err != nil {
+			return err
+		}
+		if err := writeString(bw, m.Scheme); err != nil {
+			return err
+		}
 	}
 	// The model record is length-prefixed because its own reader is
 	// buffered and would over-consume a shared stream.
@@ -145,7 +164,17 @@ func LoadCheckpoint(r io.Reader) (*core.Model, train.State, error) {
 	if err != nil {
 		return nil, st, err
 	}
-	if ver != ckptVersion {
+	scheme := "" // v1: implicit default scheme
+	switch ver {
+	case ckptVersion:
+	case ckptVersionV2:
+		if scheme, err = readString(br); err != nil {
+			return nil, st, err
+		}
+		if scheme == "" || !lockscheme.Valid(scheme) {
+			return nil, st, fmt.Errorf("modelio: unknown lock scheme %q in checkpoint", scheme)
+		}
+	default:
 		return nil, st, fmt.Errorf("modelio: unsupported checkpoint version %d", ver)
 	}
 	blobLen, err := readU64(br)
@@ -164,6 +193,12 @@ func LoadCheckpoint(r io.Reader) (*core.Model, train.State, error) {
 	model, err := Load(bytes.NewReader(blob.Bytes()))
 	if err != nil {
 		return nil, st, fmt.Errorf("modelio: decoding embedded model: %w", err)
+	}
+	// The scheme rides in two places (checkpoint header and embedded model
+	// blob); a disagreement means a corrupted or spliced record.
+	if lockscheme.Canonical(scheme) != lockscheme.Canonical(model.Scheme) {
+		return nil, st, fmt.Errorf("modelio: checkpoint scheme %q disagrees with embedded model scheme %q",
+			lockscheme.Canonical(scheme), lockscheme.Canonical(model.Scheme))
 	}
 	locks := model.Locks()
 	nLocks, err := readU32(br)

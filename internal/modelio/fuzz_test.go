@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hpnn/internal/core"
+	"hpnn/internal/lockscheme"
 	"hpnn/internal/nn"
 	"hpnn/internal/train"
 )
@@ -34,6 +35,20 @@ func FuzzLoad(f *testing.F) {
 	huge := append([]byte(nil), valid[:8]...)
 	huge = append(huge, 0xFF, 0xFF, 0xFF, 0x7F)
 	f.Add(huge)
+	// Format v2: a valid scheme-stamped blob, a v2 header claiming an
+	// unknown scheme, and a v2 header with a truncated scheme string.
+	m.Scheme = "deeplock"
+	var v2 bytes.Buffer
+	if err := Save(&v2, m); err != nil {
+		f.Fatal(err)
+	}
+	m.Scheme = ""
+	f.Add(v2.Bytes())
+	bogus := append([]byte(nil), "HPNN"...)
+	bogus = append(bogus, 2, 0, 0, 0, 5, 0, 0, 0)
+	bogus = append(bogus, "bogus"...)
+	f.Add(bogus)
+	f.Add(v2.Bytes()[:10])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		model, err := Load(bytes.NewReader(data))
@@ -80,11 +95,68 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 		corrupt[off] ^= 0xFF
 		f.Add(corrupt)
 	}
+	// Checkpoint v2: a valid scheme-stamped record, a v2 header with an
+	// unknown scheme, and a header/blob scheme disagreement (v2 header over
+	// the original v1 body).
+	m.Scheme = "pufshuffle"
+	var v2 bytes.Buffer
+	if err := SaveCheckpoint(&v2, m, st); err != nil {
+		f.Fatal(err)
+	}
+	m.Scheme = ""
+	f.Add(v2.Bytes())
+	bogus := append([]byte(nil), "HPCK"...)
+	bogus = append(bogus, 2, 0, 0, 0, 5, 0, 0, 0)
+	bogus = append(bogus, "bogus"...)
+	f.Add(bogus)
+	spliced := append([]byte(nil), "HPCK"...)
+	spliced = append(spliced, 2, 0, 0, 0, 8, 0, 0, 0)
+	spliced = append(spliced, "deeplock"...)
+	spliced = append(spliced, valid[8:]...)
+	f.Add(spliced)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		model, _, err := LoadCheckpoint(bytes.NewReader(data))
 		if err == nil && model == nil {
 			t.Fatal("LoadCheckpoint returned nil model without error")
+		}
+	})
+}
+
+// FuzzSniffScheme hardens the zoo's record-header sniffing: for arbitrary
+// bytes it must return a registered scheme or an error — never panic — and
+// must agree with the full decoder about the scheme of anything Load
+// accepts.
+func FuzzSniffScheme(f *testing.F) {
+	m := core.MustModel(core.Config{Arch: core.MLP, InC: 1, InH: 8, InW: 8, Seed: 1})
+	for _, scheme := range []string{"", "deeplock", "pufshuffle"} {
+		m.Scheme = scheme
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:6])
+	}
+	m.Scheme = ""
+	f.Add([]byte{})
+	f.Add([]byte("HPNN"))
+	bogus := append([]byte(nil), "HPNN"...)
+	bogus = append(bogus, 2, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F)
+	f.Add(bogus)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scheme, err := SniffScheme(data)
+		if err != nil {
+			return
+		}
+		if !lockscheme.Valid(scheme) || scheme == "" {
+			t.Fatalf("SniffScheme returned unregistered scheme %q", scheme)
+		}
+		if model, lerr := Load(bytes.NewReader(data)); lerr == nil {
+			if got := lockscheme.Canonical(model.Scheme); got != scheme {
+				t.Fatalf("sniffed scheme %q, full decode says %q", scheme, got)
+			}
 		}
 	})
 }

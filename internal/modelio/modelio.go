@@ -17,13 +17,20 @@ import (
 	"os"
 
 	"hpnn/internal/core"
+	"hpnn/internal/lockscheme"
 )
 
 // magic identifies serialized HPNN models.
 var magic = [4]byte{'H', 'P', 'N', 'N'}
 
-// formatVersion is bumped on incompatible layout changes.
-const formatVersion uint32 = 1
+// Format versions. Version 1 is the original layout, implicitly the default
+// HPNN XOR scheme; version 2 inserts the lock-scheme identifier right after
+// the version word. Default-scheme models keep writing version 1, so every
+// pre-scheme artifact round-trips byte-identically.
+const (
+	formatVersion   uint32 = 1
+	formatVersionV2 uint32 = 2
+)
 
 // maxStringLen bounds deserialized strings defensively.
 const maxStringLen = 1 << 16
@@ -32,13 +39,27 @@ const maxStringLen = 1 << 16
 const maxTensorElems = 1 << 29
 
 // Save writes m (architecture config + weights + batch-norm statistics) to w.
+// The model's lock-scheme stamp travels with the artifact: non-default
+// schemes select format version 2 with the scheme identifier inline.
 func Save(w io.Writer, m *core.Model) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
-	if err := writeU32(bw, formatVersion); err != nil {
-		return err
+	if !lockscheme.Valid(m.Scheme) {
+		return fmt.Errorf("modelio: model stamped with unknown lock scheme %q", m.Scheme)
+	}
+	if lockscheme.IsDefault(m.Scheme) {
+		if err := writeU32(bw, formatVersion); err != nil {
+			return err
+		}
+	} else {
+		if err := writeU32(bw, formatVersionV2); err != nil {
+			return err
+		}
+		if err := writeString(bw, m.Scheme); err != nil {
+			return err
+		}
 	}
 	cfg := m.Config
 	if err := writeString(bw, string(cfg.Arch)); err != nil {
@@ -106,7 +127,17 @@ func Load(r io.Reader) (*core.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != formatVersion {
+	scheme := "" // v1: implicit default scheme
+	switch ver {
+	case formatVersion:
+	case formatVersionV2:
+		if scheme, err = readString(br); err != nil {
+			return nil, err
+		}
+		if scheme == "" || !lockscheme.Valid(scheme) {
+			return nil, fmt.Errorf("modelio: unknown lock scheme %q", scheme)
+		}
+	default:
 		return nil, fmt.Errorf("modelio: unsupported format version %d", ver)
 	}
 	arch, err := readString(br)
@@ -137,6 +168,7 @@ func Load(r io.Reader) (*core.Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("modelio: rebuilding architecture: %w", err)
 	}
+	model.Scheme = scheme
 	nParams, err := readU32(br)
 	if err != nil {
 		return nil, err

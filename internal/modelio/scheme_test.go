@@ -1,0 +1,155 @@
+package modelio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"hpnn/internal/core"
+	"hpnn/internal/lockscheme"
+	"hpnn/internal/nn"
+	"hpnn/internal/train"
+)
+
+func optStateForTest() nn.OptState { return nn.OptState{Kind: "sgd"} }
+
+func tinyModel(t *testing.T) *core.Model {
+	t.Helper()
+	m, err := core.NewModel(core.Config{Arch: core.MLP, InC: 1, InH: 8, InW: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Default-scheme models must keep writing the original v1 bytes: the scheme
+// boundary may not disturb pre-scheme artifacts.
+func TestSchemeDefaultStaysV1(t *testing.T) {
+	m := tinyModel(t)
+	for _, stamp := range []string{"", lockscheme.DefaultName} {
+		m.Scheme = stamp
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		if ver := binary.LittleEndian.Uint32(buf.Bytes()[4:8]); ver != 1 {
+			t.Errorf("scheme %q: model format version = %d, want 1", stamp, ver)
+		}
+		var ck bytes.Buffer
+		if err := SaveCheckpoint(&ck, m, train.State{Optimizer: optStateForTest()}); err != nil {
+			t.Fatal(err)
+		}
+		if ver := binary.LittleEndian.Uint32(ck.Bytes()[4:8]); ver != 1 {
+			t.Errorf("scheme %q: checkpoint version = %d, want 1", stamp, ver)
+		}
+	}
+}
+
+// Non-default schemes round-trip through format v2, for both the model
+// format and the checkpoint format.
+func TestSchemeRoundTripV2(t *testing.T) {
+	for _, scheme := range []string{"deeplock", "pufshuffle"} {
+		m := tinyModel(t)
+		m.Scheme = scheme
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		if ver := binary.LittleEndian.Uint32(buf.Bytes()[4:8]); ver != 2 {
+			t.Errorf("scheme %q: model format version = %d, want 2", scheme, ver)
+		}
+		got, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Scheme != scheme {
+			t.Errorf("loaded scheme = %q, want %q", got.Scheme, scheme)
+		}
+
+		var ck bytes.Buffer
+		if err := SaveCheckpoint(&ck, m, train.State{Optimizer: optStateForTest()}); err != nil {
+			t.Fatal(err)
+		}
+		cm, _, err := LoadCheckpoint(bytes.NewReader(ck.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cm.Scheme != scheme {
+			t.Errorf("checkpoint-loaded scheme = %q, want %q", cm.Scheme, scheme)
+		}
+	}
+}
+
+// Unknown scheme identifiers are rejected on save (a stamped-but-unregistered
+// model is a bug) and on load (a forged or future artifact).
+func TestSchemeUnknownRejected(t *testing.T) {
+	m := tinyModel(t)
+	m.Scheme = "no-such-scheme"
+	if err := Save(&bytes.Buffer{}, m); err == nil {
+		t.Error("Save accepted unknown scheme stamp")
+	}
+	if err := SaveCheckpoint(&bytes.Buffer{}, m, train.State{Optimizer: optStateForTest()}); err == nil {
+		t.Error("SaveCheckpoint accepted unknown scheme stamp")
+	}
+
+	// Forge a v2 header claiming an unregistered scheme.
+	forge := func(magicStr, scheme string) []byte {
+		var b bytes.Buffer
+		b.WriteString(magicStr)
+		_ = writeU32(&b, 2)
+		_ = writeString(&b, scheme)
+		return b.Bytes()
+	}
+	if _, err := Load(bytes.NewReader(forge("HPNN", "evil"))); err == nil || !strings.Contains(err.Error(), "unknown lock scheme") {
+		t.Errorf("Load on forged scheme: err = %v, want unknown-scheme error", err)
+	}
+	if _, _, err := LoadCheckpoint(bytes.NewReader(forge("HPCK", "evil"))); err == nil || !strings.Contains(err.Error(), "unknown lock scheme") {
+		t.Errorf("LoadCheckpoint on forged scheme: err = %v, want unknown-scheme error", err)
+	}
+}
+
+// A checkpoint whose header scheme disagrees with its embedded model blob is
+// a spliced record and must be rejected.
+func TestCheckpointSchemeMismatchRejected(t *testing.T) {
+	m := tinyModel(t)
+	var v1 bytes.Buffer
+	if err := SaveCheckpoint(&v1, m, train.State{Optimizer: optStateForTest()}); err != nil {
+		t.Fatal(err)
+	}
+	var spliced bytes.Buffer
+	spliced.WriteString("HPCK")
+	_ = writeU32(&spliced, 2)
+	_ = writeString(&spliced, "deeplock")
+	spliced.Write(v1.Bytes()[8:]) // v1 body carries a default-scheme model blob
+	if _, _, err := LoadCheckpoint(bytes.NewReader(spliced.Bytes())); err == nil || !strings.Contains(err.Error(), "disagrees") {
+		t.Errorf("spliced checkpoint: err = %v, want scheme-disagreement error", err)
+	}
+}
+
+// The zoo tracks the scheme of each record and exposes it over /records.
+func TestZooRecordsCarryScheme(t *testing.T) {
+	m := tinyModel(t)
+	var v1 bytes.Buffer
+	if err := Save(&v1, m); err != nil {
+		t.Fatal(err)
+	}
+	m.Scheme = "deeplock"
+	var v2 bytes.Buffer
+	if err := Save(&v2, m); err != nil {
+		t.Fatal(err)
+	}
+	z := NewZoo()
+	z.Put("plain", v1.Bytes())
+	z.Put("ciphered", v2.Bytes())
+	recs := z.Records()
+	want := map[string]string{"ciphered": "deeplock", "plain": lockscheme.DefaultName}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for _, r := range recs {
+		if want[r.Name] != r.Scheme {
+			t.Errorf("record %q scheme = %q, want %q", r.Name, r.Scheme, want[r.Name])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"hpnn/internal/core"
+	"hpnn/internal/lockscheme"
 )
 
 // Zoo is the public model-sharing platform of Fig. 1: an in-memory HTTP
@@ -18,21 +19,69 @@ import (
 // download them. Distribution is deliberately open — HPNN's security rests
 // on the hardware key, not on restricting access to the weights.
 type Zoo struct {
-	mu     sync.RWMutex
-	models map[string][]byte
+	mu      sync.RWMutex
+	models  map[string][]byte
+	schemes map[string]string // per-record lock-scheme identifier (canonical)
 }
 
 // NewZoo returns an empty model zoo.
 func NewZoo() *Zoo {
-	return &Zoo{models: make(map[string][]byte)}
+	return &Zoo{models: make(map[string][]byte), schemes: make(map[string]string)}
+}
+
+// Record describes one published zoo entry: its name and the lock scheme
+// the model was published under. Pre-scheme (format v1) blobs read as the
+// default HPNN XOR scheme.
+type Record struct {
+	Name   string `json:"name"`
+	Scheme string `json:"scheme"`
+}
+
+// SniffScheme reads just enough of a serialized model blob to report its
+// lock-scheme identifier (canonicalized). It rejects bad magic, unsupported
+// versions and unknown scheme IDs without decoding the weights.
+func SniffScheme(blob []byte) (string, error) {
+	br := bytes.NewReader(blob)
+	var m4 [4]byte
+	if _, err := io.ReadFull(br, m4[:]); err != nil {
+		return "", fmt.Errorf("modelio: reading magic: %w", err)
+	}
+	if m4 != magic {
+		return "", fmt.Errorf("modelio: bad magic %q", m4)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return "", err
+	}
+	switch ver {
+	case formatVersion:
+		return lockscheme.DefaultName, nil
+	case formatVersionV2:
+		scheme, err := readString(br)
+		if err != nil {
+			return "", err
+		}
+		if scheme == "" || !lockscheme.Valid(scheme) {
+			return "", fmt.Errorf("modelio: unknown lock scheme %q", scheme)
+		}
+		return lockscheme.Canonical(scheme), nil
+	default:
+		return "", fmt.Errorf("modelio: unsupported format version %d", ver)
+	}
 }
 
 // Put stores a serialized model under name (local API, used by the server
-// side and tests).
+// side and tests). The record's scheme field is sniffed from the blob
+// header; unparseable blobs store with an empty scheme.
 func (z *Zoo) Put(name string, blob []byte) {
+	scheme, err := SniffScheme(blob)
+	if err != nil {
+		scheme = ""
+	}
 	z.mu.Lock()
 	defer z.mu.Unlock()
 	z.models[name] = append([]byte(nil), blob...)
+	z.schemes[name] = scheme
 }
 
 // Get retrieves a serialized model.
@@ -56,6 +105,19 @@ func (z *Zoo) Names() []string {
 	return out
 }
 
+// Records lists the published entries with their scheme identifiers,
+// sorted by name.
+func (z *Zoo) Records() []Record {
+	names := z.Names()
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	out := make([]Record, 0, len(names))
+	for _, n := range names {
+		out = append(out, Record{Name: n, Scheme: z.schemes[n]})
+	}
+	return out
+}
+
 // Handler serves the zoo over HTTP:
 //
 //	GET  /models           → JSON list of model names
@@ -72,6 +134,14 @@ func (z *Zoo) Handler() http.Handler {
 		// An encode error here means the client went away mid-response;
 		// the status is already committed, so there is nothing to report.
 		_ = json.NewEncoder(w).Encode(z.Names())
+	})
+	mux.HandleFunc("/records", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(z.Records())
 	})
 	mux.HandleFunc("/models/", func(w http.ResponseWriter, r *http.Request) {
 		name := strings.TrimPrefix(r.URL.Path, "/models/")
@@ -149,6 +219,24 @@ func (c *Client) Fetch(name string) (*core.Model, error) {
 		return nil, fmt.Errorf("modelio: fetch failed: %s", resp.Status)
 	}
 	return Load(resp.Body)
+}
+
+// ListRecords returns the published entries with their lock-scheme
+// identifiers.
+func (c *Client) ListRecords() ([]Record, error) {
+	resp, err := c.HTTP.Get(c.Base + "/records")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("modelio: record list failed: %s", resp.Status)
+	}
+	var recs []Record
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 // List returns the published model names.

@@ -36,6 +36,7 @@ import (
 
 	"hpnn/internal/core"
 	"hpnn/internal/keys"
+	"hpnn/internal/lockscheme"
 	"hpnn/internal/schedule"
 	"hpnn/internal/tensor"
 	"hpnn/internal/tpu"
@@ -64,6 +65,10 @@ type Config struct {
 	// QueueDepth bounds the pending-request queue; a full queue makes
 	// Predict fail with ErrOverloaded. Default 4·MaxBatch·Shards.
 	QueueDepth int
+	// Scheme selects the lock-scheme backend the shards lower (see package
+	// lockscheme). Empty selects the model's own scheme stamp, so sealed
+	// plans always carry the scheme the model was published under.
+	Scheme string
 
 	// testBatchHook, when set, runs on the worker goroutine before each
 	// dispatched batch. Tests use it to stall the pipeline deterministically
@@ -146,6 +151,14 @@ type Server struct {
 // paper's attacker scenario, useful for differential experiments.
 func New(m *core.Model, acfg tpu.Config, dev *keys.Device, sched *schedule.Schedule, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	schemeName := cfg.Scheme
+	if schemeName == "" {
+		schemeName = m.Scheme // sealed plans carry the model's published scheme
+	}
+	scheme, err := lockscheme.Get(schemeName)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s := &Server{
 		cfg:   cfg,
 		model: m,
@@ -161,7 +174,7 @@ func New(m *core.Model, acfg tpu.Config, dev *keys.Device, sched *schedule.Sched
 	}
 	warm := tensor.New(s.c, s.h, s.w)
 	for i := 0; i < cfg.Shards; i++ {
-		acc, err := tpu.NewAccelerator(acfg, dev, sched)
+		acc, err := tpu.NewAcceleratorFor(scheme, acfg, dev, sched)
 		if err != nil {
 			return nil, err
 		}

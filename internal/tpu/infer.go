@@ -6,6 +6,7 @@ import (
 
 	"hpnn/internal/core"
 	"hpnn/internal/keys"
+	"hpnn/internal/lockscheme"
 	"hpnn/internal/schedule"
 	"hpnn/internal/tensor"
 )
@@ -26,9 +27,11 @@ import (
 // inference at a time — matching the single command queue of the modelled
 // hardware.
 type Accelerator struct {
-	mmu   *MMU
-	sched *schedule.Schedule
-	bits  int
+	mmu    *MMU
+	sched  *schedule.Schedule
+	scheme lockscheme.Scheme
+	low    lockscheme.Lowering
+	bits   int
 
 	plans map[*core.Model][]planOp
 	// ws holds every compiled op's activation buffers, keyed per op at
@@ -37,9 +40,22 @@ type Accelerator struct {
 	sampleView tensor.Tensor
 }
 
-// NewAccelerator builds a trusted device simulator. dev may be nil to model
-// a commodity accelerator without the HPNN key (an attacker's hardware).
+// NewAccelerator builds a trusted device simulator lowering the default
+// (paper) HPNN XOR scheme. dev may be nil to model a commodity accelerator
+// without the HPNN key (an attacker's hardware).
 func NewAccelerator(cfg Config, dev *keys.Device, sched *schedule.Schedule) (*Accelerator, error) {
+	return NewAcceleratorFor(lockscheme.Default(), cfg, dev, sched)
+}
+
+// NewAcceleratorFor builds a trusted device simulator for an explicit lock
+// scheme. The scheme's Lowering decides how the lock folds into compiled
+// plans: the in-datapath XOR scheme drives the MMU's key-conditioned
+// accumulator columns, while weight-space schemes unlock the model into a
+// device-private clone at compile time and run the plain datapath.
+func NewAcceleratorFor(scheme lockscheme.Scheme, cfg Config, dev *keys.Device, sched *schedule.Schedule) (*Accelerator, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("tpu: accelerator requires a lock scheme")
+	}
 	mmu, err := NewMMU(cfg, dev)
 	if err != nil {
 		return nil, err
@@ -56,10 +72,14 @@ func NewAccelerator(cfg Config, dev *keys.Device, sched *schedule.Schedule) (*Ac
 	}
 	return &Accelerator{
 		mmu: mmu, sched: sched, bits: bits,
+		scheme: scheme, low: scheme.Lowering(dev, sched),
 		plans: make(map[*core.Model][]planOp),
 		ws:    tensor.NewWorkspace(),
 	}, nil
 }
+
+// Scheme returns the lock scheme this device lowers.
+func (a *Accelerator) Scheme() lockscheme.Scheme { return a.scheme }
 
 // Stats returns the hardware activity counters accumulated so far.
 func (a *Accelerator) Stats() Stats { return a.mmu.Stats() }
@@ -70,13 +90,29 @@ func (a *Accelerator) ResetStats() { a.mmu.ResetStats() }
 // quantize converts to the accelerator's datapath width.
 func (a *Accelerator) quantize(t *tensor.Tensor) *QTensor { return QuantizeTo(t, a.bits) }
 
-// planFor returns the compiled plan for m, lowering it on first use.
+// planFor returns the compiled plan for m, lowering it on first use. The
+// scheme's compile-time hooks run here: the model's scheme stamp must match
+// the accelerator's, and weight-space schemes get their device-private
+// unlocked clone before lowering (the clone stays alive through the plan's
+// weight references; the published model m remains the map key and is never
+// mutated).
 func (a *Accelerator) planFor(m *core.Model) ([]planOp, error) {
 	plan, ok := a.plans[m]
 	if !ok {
-		var err error
+		if got := lockscheme.Canonical(m.Scheme); got != a.scheme.Name() {
+			//hpnn:allow(noalloc) cold error path: scheme mismatch rejected at first compile
+			return nil, fmt.Errorf("tpu: model published under scheme %q cannot run on a %q accelerator", got, a.scheme.Name())
+		}
+		//hpnn:allow(noalloc) compile-once lowering; weight-space schemes clone/unlock here, before serving starts
+		exec, err := a.low.UnlockModel(m)
+		if err != nil {
+			return nil, err
+		}
+		if exec == nil {
+			exec = m
+		}
 		//hpnn:allow(noalloc) compile-once lowering; Compile runs it eagerly before serving starts
-		if plan, err = compileModel(a, m); err != nil {
+		if plan, err = compileModel(a, exec); err != nil {
 			return nil, err
 		}
 		a.plans[m] = plan

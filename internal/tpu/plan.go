@@ -231,6 +231,7 @@ type convOp struct {
 	qIn            *QTensor
 	bias           []int32
 	cols           []int
+	colsSet        bool // scheme lowering answered (nil = no in-datapath lock)
 	q8             []int8
 	acc            []int32
 }
@@ -252,8 +253,9 @@ func (o *convOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, erro
 	accScale := o.qIn.Scale * o.qW.Scale
 	o.bias = QuantizeBiasInto(o.bias, o.b, accScale)
 
-	if o.lockID != "" && o.cols == nil {
-		o.cols = a.sched.Assign(o.lockID, o.outC*pix)
+	if o.lockID != "" && !o.colsSet {
+		o.cols = a.low.MACColumns(o.lockID, o.outC*pix)
+		o.colsSet = true
 	}
 	o.acc = a.mmu.MatMulLockedInto(o.acc, o.qW.Data, o.outC, g.InC*g.KH*g.KW, o.qIn.Data, pix, o.bias, o.cols)
 	out := a.ws.Get(o.outKey, o.outC, g.OutH(), g.OutW())
@@ -269,13 +271,14 @@ type denseOp struct {
 	lockN   int
 	relu    bool
 
-	outKey string
-	qW     *QTensor
-	qIn    *QTensor
-	bias   []int32
-	cols   []int
-	q8     []int8
-	acc    []int32
+	outKey  string
+	qW      *QTensor
+	qIn     *QTensor
+	bias    []int32
+	cols    []int
+	colsSet bool
+	q8      []int8
+	acc     []int32
 }
 
 func (o *denseOp) opName() string { return "dense" }
@@ -291,8 +294,9 @@ func (o *denseOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, err
 	accScale := o.qIn.Scale * o.qW.Scale
 	o.bias = QuantizeBiasInto(o.bias, o.b, accScale)
 
-	if o.lockID != "" && o.cols == nil {
-		o.cols = a.sched.Assign(o.lockID, o.out)
+	if o.lockID != "" && !o.colsSet {
+		o.cols = a.low.MACColumns(o.lockID, o.out)
+		o.colsSet = true
 	}
 	o.acc = a.mmu.MatMulLockedInto(o.acc, o.qW.Data, o.out, o.in, o.qIn.Data, 1, o.bias, o.cols)
 	out := a.ws.Get(o.outKey, o.out)
@@ -326,8 +330,9 @@ type lockReluOp struct {
 	neurons int
 	relu    bool
 
-	outKey string
-	cols   []int
+	outKey  string
+	cols    []int
+	colsSet bool
 }
 
 func (o *lockReluOp) opName() string { return "lockrelu" }
@@ -339,12 +344,17 @@ func (o *lockReluOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, 
 		if act.Len() != o.neurons {
 			return nil, fmt.Errorf("tpu: lock %s sized %d applied to %d activations", o.lockID, o.neurons, act.Len())
 		}
-		if o.cols == nil {
-			o.cols = a.sched.Assign(o.lockID, o.neurons)
+		if !o.colsSet {
+			o.cols = a.low.MACColumns(o.lockID, o.neurons)
+			o.colsSet = true
 		}
-		for j := range out.Data {
-			if a.mmu.columnBit(o.cols[j]) == 1 {
-				out.Data[j] = -out.Data[j]
+		// A nil assignment means the scheme places no lock on this bus
+		// (weight-space schemes protect parameters, not activations).
+		if o.cols != nil {
+			for j := range out.Data {
+				if a.mmu.columnBit(o.cols[j]) == 1 {
+					out.Data[j] = -out.Data[j]
+				}
 			}
 		}
 	}

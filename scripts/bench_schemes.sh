@@ -1,0 +1,26 @@
+#!/bin/sh
+# Cross-scheme attack bench: runs every registered lock scheme through the
+# identical train→publish→attack pipeline (hpnn-bench -exp schemes) and
+# emits machine-readable results/BENCH_schemes.json. The rows feed the
+# README's cross-scheme table; rerun after touching internal/lockscheme or
+# the generic attacks in internal/attack.
+#
+# PROFILE=quick scripts/bench_schemes.sh   # larger victims, slower
+set -eu
+cd "$(dirname "$0")/.."
+
+profile="${PROFILE:-bench}"
+out=results/BENCH_schemes.json
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go run ./cmd/hpnn-bench -exp schemes -profile "$profile" -v -json "$tmp"
+
+{
+	printf '{\n  "generated": "%s",\n  "profile": "%s",\n  "rows": ' \
+		"$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$profile"
+	cat "$tmp/schemes.json"
+	printf '}\n'
+} >"$out"
+
+echo "wrote $out"

@@ -30,3 +30,7 @@ go test -race -run 'TestCheckpoint' ./internal/modelio/
 # independence (bitwise) and the zero-alloc steady-state pin for the
 # pooled packing scratch. By name, so the gate stays fast.
 go test -race -run 'TestGEMMDeterministicAcrossWorkers|TestGEMMZeroAllocSteadyState|TestGEMMMatchesNaive' ./internal/tensor/
+# Lock-scheme contract suite in its quick profile: every registered backend
+# must honor the roundtrip/collapse/leakage/revocation clauses. -short
+# selects QuickContract (small victims, seconds per scheme).
+go test -short -run 'TestSchemeContract' ./internal/lockscheme/
