@@ -183,6 +183,12 @@ func (d *Device) Fingerprint() string {
 	return fmt.Sprintf("%016x", h)
 }
 
+// Revoked reports whether this device's license has been pulled. The lock
+// hardware checks it when deciding whether cached key-bit material (the
+// batched engine's sign masks) is still valid; like ColumnBit it reveals
+// nothing about the key itself.
+func (d *Device) Revoked() bool { return d.revokedNow() }
+
 // revokedNow reports whether this device's license has been pulled.
 func (d *Device) revokedNow() bool {
 	return d.authority != nil && d.authority.Revoked(d.serial)

@@ -10,6 +10,7 @@ import (
 	"hpnn/internal/keys"
 	"hpnn/internal/rng"
 	"hpnn/internal/schedule"
+	"hpnn/internal/tensor"
 )
 
 // This file is the shared scheme-contract suite: the behavioral obligations
@@ -84,6 +85,74 @@ type ContractReport struct {
 	WrongKeyAcc []float64 // mean accuracy at each probed Hamming distance
 }
 
+// contractVictim is the shared fixture behind the contract suites: a
+// trained owner model, its published clone, and the key infrastructure that
+// produced them. Both RunContract and RunBatchedContract start from the
+// same lifecycle so they judge the same artifact.
+type contractVictim struct {
+	ds       *dataset.Dataset
+	owner    *core.Model // trained, pre-publish: the roundtrip reference
+	pub      *core.Model // published clone
+	key      keys.Key
+	sched    *schedule.Schedule
+	auth     *keys.Authority
+	dev      *keys.Device
+	ownerAcc float64
+}
+
+// trainContractVictim runs the owner lifecycle once: dataset, MLP victim,
+// key issuance, scheme instrumentation, training (gated on MinOwnerAcc — a
+// victim that failed to train proves nothing), and Publish on a clone.
+func trainContractVictim(s Scheme, cfg ContractConfig) (*contractVictim, error) {
+	ds, err := dataset.Generate(dataset.Config{
+		Name: "fashion", TrainN: cfg.TrainN, TestN: cfg.TestN,
+		H: cfg.ImgSize, W: cfg.ImgSize, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewModel(core.Config{
+		Arch: core.MLP, InC: 1, InH: cfg.ImgSize, InW: cfg.ImgSize, Seed: cfg.Seed + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	v := &contractVictim{
+		ds:    ds,
+		owner: m,
+		key:   keys.Generate(rng.New(cfg.Seed + 3)),
+		sched: schedule.New(keys.KeyBits, cfg.Seed+4),
+	}
+	v.auth = keys.NewAuthority(v.key)
+	v.dev, err = v.auth.Issue("contract-owner")
+	if err != nil {
+		return nil, err
+	}
+
+	// Owner lifecycle: instrument, train, measure the reference accuracy.
+	if err := s.InstrumentTraining(m, v.dev, v.sched); err != nil {
+		return nil, err
+	}
+	core.Train(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, core.TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: 32, LR: 0.05, Momentum: 0.9, Seed: cfg.Seed + 5,
+	})
+	v.ownerAcc = m.Accuracy(ds.TestX, ds.TestY, 64)
+	if v.ownerAcc < cfg.MinOwnerAcc {
+		return nil, fmt.Errorf("%s: victim failed to train (owner accuracy %.3f < %.3f)",
+			s.Name(), v.ownerAcc, cfg.MinOwnerAcc)
+	}
+
+	// Publish on a clone; the owner's model stays the roundtrip reference.
+	v.pub, err = m.Clone()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Publish(v.pub, v.dev, v.sched); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
 // RunContract trains a victim under the scheme's lifecycle and checks every
 // contract clause, returning the measured report and the violations (empty
 // means the scheme honors the contract).
@@ -94,50 +163,15 @@ func RunContract(s Scheme, cfg ContractConfig) (ContractReport, []error) {
 		violations = append(violations, fmt.Errorf("%s: "+format, append([]any{s.Name()}, args...)...))
 	}
 
-	ds, err := dataset.Generate(dataset.Config{
-		Name: "fashion", TrainN: cfg.TrainN, TestN: cfg.TestN,
-		H: cfg.ImgSize, W: cfg.ImgSize, Seed: cfg.Seed + 1,
-	})
+	v, err := trainContractVictim(s, cfg)
 	if err != nil {
 		return rep, append(violations, err)
 	}
-	m, err := core.NewModel(core.Config{
-		Arch: core.MLP, InC: 1, InH: cfg.ImgSize, InW: cfg.ImgSize, Seed: cfg.Seed + 2,
-	})
-	if err != nil {
-		return rep, append(violations, err)
-	}
-	key := keys.Generate(rng.New(cfg.Seed + 3))
-	sched := schedule.New(keys.KeyBits, cfg.Seed+4)
-	auth := keys.NewAuthority(key)
-	dev, err := auth.Issue("contract-owner")
-	if err != nil {
-		return rep, append(violations, err)
-	}
+	ds, pub, key, sched, auth, dev := v.ds, v.pub, v.key, v.sched, v.auth, v.dev
+	rep.OwnerAcc = v.ownerAcc
+	ownerBits := paramBits(v.owner)
+	ownerPreds := v.owner.Predict(ds.TestX, 64)
 
-	// Owner lifecycle: instrument, train, measure the reference accuracy.
-	if err := s.InstrumentTraining(m, dev, sched); err != nil {
-		return rep, append(violations, err)
-	}
-	core.Train(m, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, core.TrainConfig{
-		Epochs: cfg.Epochs, BatchSize: 32, LR: 0.05, Momentum: 0.9, Seed: cfg.Seed + 5,
-	})
-	rep.OwnerAcc = m.Accuracy(ds.TestX, ds.TestY, 64)
-	if rep.OwnerAcc < cfg.MinOwnerAcc {
-		fail("victim failed to train (owner accuracy %.3f < %.3f)", rep.OwnerAcc, cfg.MinOwnerAcc)
-		return rep, violations
-	}
-	ownerBits := paramBits(m)
-	ownerPreds := m.Predict(ds.TestX, 64)
-
-	// Publish on a clone; the owner's model is the roundtrip reference.
-	pub, err := m.Clone()
-	if err != nil {
-		return rep, append(violations, err)
-	}
-	if err := s.Publish(pub, dev, sched); err != nil {
-		return rep, append(violations, err)
-	}
 	if Canonical(pub.Scheme) != s.Name() {
 		fail("Publish stamped scheme %q, want %q", pub.Scheme, s.Name())
 	}
@@ -230,6 +264,135 @@ func RunContract(s Scheme, cfg ContractConfig) (ContractReport, []error) {
 	rep.RevokedAcc = revoked.Accuracy(ds.TestX, ds.TestY, 64)
 	if rep.RevokedAcc > rep.OwnerAcc-cfg.MinCollapse {
 		fail("revoked device still unlocks to %.3f (owner %.3f)", rep.RevokedAcc, rep.OwnerAcc)
+	}
+	return rep, violations
+}
+
+// InferenceBackend abstracts an execution engine over published models so
+// the contract suite can pin batched semantics without importing the tpu
+// package (which imports this one). The external test in this package binds
+// it to the accelerator's per-sample golden path and batched int8 tier; any
+// future engine that wants registry coverage implements the same pair.
+type InferenceBackend interface {
+	// Predict runs x (one sample per leading index) through the engine's
+	// reference per-sample path on hardware holding dev (nil = commodity).
+	Predict(s Scheme, m *core.Model, dev *keys.Device, sched *schedule.Schedule, x *tensor.Tensor) ([]int, error)
+	// PredictBatch runs the same samples through the engine's batched path
+	// in a single call.
+	PredictBatch(s Scheme, m *core.Model, dev *keys.Device, sched *schedule.Schedule, x *tensor.Tensor) ([]int, error)
+}
+
+// batchProbeSizes picks the batch sizes the batched clauses probe: a lone
+// sample, a small partial batch, and the full test set.
+func batchProbeSizes(n int) []int {
+	sizes := []int{}
+	for _, p := range []int{1, 3} {
+		if p < n {
+			sizes = append(sizes, p)
+		}
+	}
+	return append(sizes, n)
+}
+
+// RunBatchedContract extends the scheme contract to batched inference. A
+// batch of N published-model samples must produce exactly the N predictions
+// of the engine's per-sample path — on the owner's device, where a batched
+// tier folds the key into its kernels and the fold must be invisible in the
+// answers, and on commodity hardware, where batching must not rescue the
+// no-key collapse the float contract already demands. Runs per registered
+// scheme from the external contract test, so every backend in the registry
+// is pinned automatically.
+func RunBatchedContract(s Scheme, cfg ContractConfig, be InferenceBackend) (ContractReport, []error) {
+	rep := ContractReport{Scheme: s.Name()}
+	var violations []error
+	fail := func(format string, args ...any) {
+		violations = append(violations, fmt.Errorf("%s: "+format, append([]any{s.Name()}, args...)...))
+	}
+
+	v, err := trainContractVictim(s, cfg)
+	if err != nil {
+		return rep, append(violations, err)
+	}
+	rep.OwnerAcc = v.ownerAcc
+	accuracy := func(preds []int) float64 {
+		correct := 0
+		for i, p := range preds {
+			if p == v.ds.TestY[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(preds))
+	}
+	total := v.ds.TestX.Shape[0]
+	feat := len(v.ds.TestX.Data) / total
+	prefix := func(n int) *tensor.Tensor {
+		var view tensor.Tensor
+		shape := append([]int{n}, v.ds.TestX.Shape[1:]...)
+		return tensor.ViewInto(&view, v.ds.TestX.Data[:n*feat], shape...)
+	}
+
+	// Clause B1 — batch ≡ N single calls on the owner's device, for a lone
+	// sample, a partial batch, and the full test set. The quantized engine
+	// is deterministic, so any divergence is a kernel bug, not noise.
+	single, err := be.Predict(s, v.pub, v.dev, v.sched, v.ds.TestX)
+	if err != nil {
+		return rep, append(violations, err)
+	}
+	var full []int
+	for _, n := range batchProbeSizes(total) {
+		batched, err := be.PredictBatch(s, v.pub, v.dev, v.sched, prefix(n))
+		if err != nil {
+			return rep, append(violations, err)
+		}
+		if len(batched) != n {
+			fail("batch of %d returned %d predictions", n, len(batched))
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if batched[i] != single[i] {
+				fail("batch of %d diverges from the per-sample path at sample %d (class %d vs %d)",
+					n, i, batched[i], single[i])
+				break
+			}
+		}
+		if n == total {
+			full = batched
+		}
+	}
+	if full == nil {
+		return rep, violations
+	}
+
+	// Clause B2 — the batched engine serves the owner: its accuracy tracks
+	// the float victim up to quantization.
+	rep.UnlockedAcc = accuracy(full)
+	if rep.UnlockedAcc < rep.OwnerAcc-0.1 {
+		fail("batched owner accuracy %.3f too far below float owner %.3f",
+			rep.UnlockedAcc, rep.OwnerAcc)
+	}
+
+	// Clause B3 — batching preserves the no-key collapse: the commodity
+	// batch equals the commodity single calls elementwise and stays far
+	// below the owner.
+	noKeySingle, err := be.Predict(s, v.pub, nil, v.sched, v.ds.TestX)
+	if err != nil {
+		return rep, append(violations, err)
+	}
+	noKeyBatch, err := be.PredictBatch(s, v.pub, nil, v.sched, v.ds.TestX)
+	if err != nil {
+		return rep, append(violations, err)
+	}
+	for i := range noKeyBatch {
+		if noKeyBatch[i] != noKeySingle[i] {
+			fail("no-key batch diverges from no-key single calls at sample %d (class %d vs %d)",
+				i, noKeyBatch[i], noKeySingle[i])
+			break
+		}
+	}
+	rep.NoKeyAcc = accuracy(noKeyBatch)
+	if rep.NoKeyAcc > rep.OwnerAcc-cfg.MinCollapse {
+		fail("batching rescued the no-key view: %.3f vs owner %.3f (want a drop of at least %.2f)",
+			rep.NoKeyAcc, rep.OwnerAcc, cfg.MinCollapse)
 	}
 	return rep, violations
 }

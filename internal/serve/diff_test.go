@@ -10,6 +10,7 @@ import (
 	"hpnn/internal/core"
 	"hpnn/internal/dataset"
 	"hpnn/internal/keys"
+	"hpnn/internal/lockscheme"
 	"hpnn/internal/rng"
 	"hpnn/internal/schedule"
 	"hpnn/internal/tensor"
@@ -17,11 +18,12 @@ import (
 )
 
 // TestServeDifferentialRandomModels is the property-style half of the
-// differential harness: for a spread of architectures, schedule seeds and
-// random inputs, every class served through the batcher must equal the
-// single-call accelerator bit-for-bit. The quantized path is fully
-// deterministic, so any divergence — however the batcher slices the
-// traffic across shards — is a bug, not noise. Run under -race.
+// differential harness: for every registered lock scheme, a spread of
+// architectures, and both execution engines, every class served through
+// the batcher must equal the single-call accelerator bit-for-bit. The
+// quantized path is fully deterministic, so any divergence — however the
+// batcher slices the traffic across shards — is a bug, not noise. Run
+// under -race.
 func TestServeDifferentialRandomModels(t *testing.T) {
 	cases := []struct {
 		arch core.Arch
@@ -32,37 +34,44 @@ func TestServeDifferentialRandomModels(t *testing.T) {
 		{core.MLP, 12, 510},
 		{core.CNN1, 16, 520},
 	}
-	for _, tc := range cases {
-		tc := tc
-		t.Run(fmt.Sprintf("%v-%d", tc.arch, tc.hw), func(t *testing.T) {
+	for si, schemeName := range lockscheme.Names() {
+		for ci, tc := range cases {
 			const n = 24
-			f := newFixture(t, tc.arch, tc.hw, n, tc.seed)
-			s := f.server(t, Config{Shards: 3, MaxBatch: 4, MaxWait: 100 * time.Microsecond, QueueDepth: 256})
-			defer s.Close()
+			f := newSchemeFixture(t, schemeName, tc.arch, tc.hw, n, tc.seed+uint64(1000*si+100*ci))
+			for _, engine := range []string{EngineBatched, EngineGolden} {
+				t.Run(fmt.Sprintf("%s/%v-%d/%s", schemeName, tc.arch, tc.hw, engine), func(t *testing.T) {
+					s := f.server(t, Config{
+						Shards: 3, MaxBatch: 4, MaxWait: 100 * time.Microsecond,
+						QueueDepth: 256, Engine: engine,
+					})
+					defer s.Close()
 
-			// Concurrent submission: shard assignment and batch boundaries
-			// are scheduler-dependent, the answers must not be.
-			var wg sync.WaitGroup
-			got := make([]int, n)
-			errs := make([]error, n)
-			for i := 0; i < n; i++ {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					got[i], errs[i] = s.Predict(context.Background(), f.sample(i))
-				}(i)
+					// Concurrent submission: shard assignment and batch
+					// boundaries are scheduler-dependent, the answers must
+					// not be.
+					var wg sync.WaitGroup
+					got := make([]int, n)
+					errs := make([]error, n)
+					for i := 0; i < n; i++ {
+						wg.Add(1)
+						go func(i int) {
+							defer wg.Done()
+							got[i], errs[i] = s.Predict(context.Background(), f.sample(i))
+						}(i)
+					}
+					wg.Wait()
+					for i := 0; i < n; i++ {
+						if errs[i] != nil {
+							t.Fatalf("sample %d: %v", i, errs[i])
+						}
+						if got[i] != f.want[i] {
+							t.Fatalf("sample %d: served class %d, single-call accelerator %d",
+								i, got[i], f.want[i])
+						}
+					}
+				})
 			}
-			wg.Wait()
-			for i := 0; i < n; i++ {
-				if errs[i] != nil {
-					t.Fatalf("sample %d: %v", i, errs[i])
-				}
-				if got[i] != f.want[i] {
-					t.Fatalf("sample %d: served class %d, single-call accelerator %d",
-						i, got[i], f.want[i])
-				}
-			}
-		})
+		}
 	}
 }
 

@@ -50,6 +50,20 @@ var ErrOverloaded = errors.New("serve: server overloaded, request queue full")
 // ErrClosed is returned by Predict after Close has begun.
 var ErrClosed = errors.New("serve: server closed")
 
+// Execution engines selectable via Config.Engine.
+const (
+	// EngineBatched executes each coalesced micro-batch in one call on the
+	// accelerator's batched int8 tier (tpu.PredictBatchInto): quantization,
+	// im2col and lock lowering amortize across the batch on a packed GEMM
+	// kernel. Bitwise-equal to the golden engine, and the default.
+	EngineBatched = "batched"
+	// EngineGolden executes requests one at a time through the per-sample
+	// simulator path (tpu.PredictSample). It is the golden reference the
+	// batched tier is differentially pinned against, kept as a serving
+	// backend for diff tests and benchmark baselines.
+	EngineGolden = "golden"
+)
+
 // Config tunes the batching service. The zero value selects sensible
 // defaults for every field.
 type Config struct {
@@ -69,6 +83,10 @@ type Config struct {
 	// lockscheme). Empty selects the model's own scheme stamp, so sealed
 	// plans always carry the scheme the model was published under.
 	Scheme string
+	// Engine selects the execution engine: EngineBatched (default) runs
+	// whole micro-batches on the int8 fast path, EngineGolden runs the
+	// per-sample simulator. Answers are bitwise-identical either way.
+	Engine string
 
 	// testBatchHook, when set, runs on the worker goroutine before each
 	// dispatched batch. Tests use it to stall the pipeline deterministically
@@ -92,6 +110,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.MaxBatch * c.Shards
 	}
+	if c.Engine == "" {
+		c.Engine = EngineBatched
+	}
 	return c
 }
 
@@ -112,10 +133,17 @@ type request struct {
 }
 
 // shard is one worker's private execution state: a full accelerator (plan,
-// workspace, quantization caches) plus a reusable sample-view header.
+// workspace, quantization caches) plus a reusable sample-view header and —
+// for the batched engine — pre-sized gather buffers so dispatching a
+// micro-batch performs no allocation.
 type shard struct {
 	acc  *tpu.Accelerator
 	view tensor.Tensor
+
+	bview tensor.Tensor
+	live  []*request // requests gathered into the current dispatch
+	batch []float64  // [MaxBatch·feat] contiguous sample gather buffer
+	preds []int      // [MaxBatch] per-dispatch predictions
 }
 
 // Server is a concurrent batched inference service over the locked TPU
@@ -159,6 +187,9 @@ func New(m *core.Model, acfg tpu.Config, dev *keys.Device, sched *schedule.Sched
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	if cfg.Engine != EngineBatched && cfg.Engine != EngineGolden {
+		return nil, fmt.Errorf("serve: unknown engine %q (want %q or %q)", cfg.Engine, EngineBatched, EngineGolden)
+	}
 	s := &Server{
 		cfg:   cfg,
 		model: m,
@@ -172,7 +203,12 @@ func New(m *core.Model, acfg tpu.Config, dev *keys.Device, sched *schedule.Sched
 		b := make([]*request, 0, cfg.MaxBatch)
 		return &b
 	}
+	// Warm every buffer a shard will touch in steady state, then seal: the
+	// golden engine warms the per-sample path, the batched engine warms the
+	// batch path at its maximum batch size (smaller partial batches reshape
+	// within the sealed capacity).
 	warm := tensor.New(s.c, s.h, s.w)
+	warmBatch := tensor.New(cfg.MaxBatch, s.c, s.h, s.w)
 	for i := 0; i < cfg.Shards; i++ {
 		acc, err := tpu.NewAcceleratorFor(scheme, acfg, dev, sched)
 		if err != nil {
@@ -181,12 +217,22 @@ func New(m *core.Model, acfg tpu.Config, dev *keys.Device, sched *schedule.Sched
 		if err := acc.Compile(m); err != nil {
 			return nil, err
 		}
-		if _, err := acc.PredictSample(m, warm); err != nil {
-			return nil, fmt.Errorf("serve: shard %d warmup: %w", i, err)
+		sh := &shard{acc: acc}
+		if cfg.Engine == EngineBatched {
+			sh.live = make([]*request, cfg.MaxBatch)
+			sh.batch = make([]float64, cfg.MaxBatch*s.feat)
+			sh.preds = make([]int, cfg.MaxBatch)
+			if err := acc.PredictBatchInto(sh.preds, m, warmBatch); err != nil {
+				return nil, fmt.Errorf("serve: shard %d warmup: %w", i, err)
+			}
+		} else {
+			if _, err := acc.PredictSample(m, warm); err != nil {
+				return nil, fmt.Errorf("serve: shard %d warmup: %w", i, err)
+			}
 		}
 		acc.Seal()
 		acc.ResetStats() // warmup activity is not served traffic
-		s.shards = append(s.shards, &shard{acc: acc})
+		s.shards = append(s.shards, sh)
 	}
 	s.wg.Add(1)
 	go s.batchLoop()
@@ -380,21 +426,49 @@ func (s *Server) batchLoop() {
 
 // workerLoop executes dispatched batches on one shard. Requests whose
 // context died while queued are completed with the context error without
-// touching the hardware.
+// touching the hardware. The batched engine gathers the survivors into the
+// shard's contiguous buffer and runs them as one call on the int8 tier;
+// the golden engine runs them one at a time through the simulator.
 func (s *Server) workerLoop(sh *shard) {
 	defer s.wg.Done()
+	golden := s.cfg.Engine == EngineGolden
 	for b := range s.batches {
 		if s.cfg.testBatchHook != nil {
 			s.cfg.testBatchHook()
 		}
-		for _, req := range b {
-			if err := req.ctx.Err(); err != nil {
-				s.finish(req, -1, err)
-				continue
+		if golden {
+			for _, req := range b {
+				if err := req.ctx.Err(); err != nil {
+					s.finish(req, -1, err)
+					continue
+				}
+				x := tensor.ViewInto(&sh.view, req.data, s.c, s.h, s.w)
+				class, err := sh.acc.PredictSample(s.model, x)
+				s.finish(req, class, err)
 			}
-			x := tensor.ViewInto(&sh.view, req.data, s.c, s.h, s.w)
-			class, err := sh.acc.PredictSample(s.model, x)
-			s.finish(req, class, err)
+		} else {
+			k := 0
+			for _, req := range b {
+				if err := req.ctx.Err(); err != nil {
+					s.finish(req, -1, err)
+					continue
+				}
+				copy(sh.batch[k*s.feat:(k+1)*s.feat], req.data)
+				sh.live[k] = req
+				k++
+			}
+			if k > 0 {
+				x := tensor.ViewInto(&sh.bview, sh.batch[:k*s.feat], k, s.c, s.h, s.w)
+				err := sh.acc.PredictBatchInto(sh.preds[:k], s.model, x)
+				for i := 0; i < k; i++ {
+					if err != nil {
+						s.finish(sh.live[i], -1, err)
+					} else {
+						s.finish(sh.live[i], sh.preds[i], nil)
+					}
+					sh.live[i] = nil
+				}
+			}
 		}
 		b = b[:0]
 		s.batchPool.Put(&b)

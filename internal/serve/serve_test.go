@@ -10,6 +10,7 @@ import (
 
 	"hpnn/internal/core"
 	"hpnn/internal/keys"
+	"hpnn/internal/lockscheme"
 	"hpnn/internal/rng"
 	"hpnn/internal/schedule"
 	"hpnn/internal/tensor"
@@ -43,6 +44,41 @@ func newFixture(t testing.TB, arch core.Arch, hw, n int, seed uint64) *testFixtu
 	x.FillUniform(rng.New(seed+3), -1, 1)
 
 	ref, err := tpu.NewAccelerator(tpu.DefaultConfig(), dev, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Predict(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testFixture{model: m, dev: dev, sched: sched, x: x, want: want, feat: hw * hw}
+}
+
+// newSchemeFixture is newFixture through a named lock scheme's full owner
+// lifecycle (instrument → publish), with the single-call reference running
+// on an accelerator lowering that scheme. It parameterizes the serve
+// differential and bench suites over the whole lockscheme registry.
+func newSchemeFixture(t testing.TB, schemeName string, arch core.Arch, hw, n int, seed uint64) *testFixture {
+	t.Helper()
+	scheme, err := lockscheme.Get(schemeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.MustModel(core.Config{Arch: arch, InC: 1, InH: hw, InW: hw, Classes: 4, Seed: seed})
+	key := keys.Generate(rng.New(seed + 1))
+	sched := schedule.New(keys.KeyBits, seed+2)
+	dev := keys.NewDevice("user", key)
+	if err := scheme.InstrumentTraining(m, dev, sched); err != nil {
+		t.Fatal(err)
+	}
+	if err := scheme.Publish(m, dev, sched); err != nil {
+		t.Fatal(err)
+	}
+
+	x := tensor.New(n, 1, hw, hw)
+	x.FillUniform(rng.New(seed+3), -1, 1)
+
+	ref, err := tpu.NewAcceleratorFor(scheme, tpu.DefaultConfig(), dev, sched)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,310 @@
+package tensor
+
+import "sync"
+
+// Packed int8×int8→int32 GEMM: the arithmetic core of the accelerator's
+// batched fast path (internal/tpu). It reuses the float engine's design
+// (gemm.go) — pack both operands into fixed-width lane panels, then run a
+// register-tiled micro-kernel over the output tile grid — specialized to
+// the integer datapath:
+//
+//   - Both operands pack into 4-wide lane panels [panel][k][4]int8 with the
+//     shared dimension contiguous, so one micro-kernel layout serves both
+//     roles: lanes taken from rows of a row-major [R, K] matrix
+//     (PackInt8RowsInto — weights, batched activations) or from columns of
+//     a row-major [K, P] matrix (PackInt8ColsInto — im2col matrices).
+//     Edge lanes are zero-filled; zero products contribute zero, so padding
+//     never changes a result.
+//   - The micro-kernel holds a 4×4 int32 accumulator tile and streams both
+//     panels sequentially — branch-free, bounds-check-hoisted, and laid out
+//     so each step is 4+4 sign-extending loads feeding 16 independent
+//     multiply-adds (the shape a vectorizing compiler or a future VPMADDWD
+//     kernel wants).
+//   - int32 addition is exact and wraps identically in any association, so
+//     unlike the float engine there is no rounding-order hazard: results
+//     are bitwise-identical across tile shapes, worker counts and runs by
+//     construction. The simulator's key-conditioned accumulator chain
+//     (internal/tpu) computes in the same Z/2^32 ring, which is what makes
+//     the fast path provably equal to the gate-level golden reference.
+//   - There is no kc blocking: the models' shared dimensions (≤ a few
+//     hundred) keep one A panel and one B panel L1-resident, and int8
+//     panels are 8× smaller than the float engine's.
+//
+// Allocation follows the engine discipline: callers own their packed-panel
+// buffers (grow-once, reuse-forever), and the per-call dispatch context
+// comes from a mutex-guarded freelist, so a steady-state product performs
+// zero heap allocations.
+const (
+	// int8Lanes is both the row and column width of the micro-kernel tile:
+	// with equal lane widths a packed weight matrix has the identical
+	// layout whether it enters the product as the left or the right
+	// operand, so one cached pack serves conv (weights on the left) and
+	// batched dense (weights on the right).
+	int8Lanes = 4
+)
+
+// Int8Panels is one packed GEMM operand: rows logical lanes over the
+// shared dimension k, grouped into ⌈rows/4⌉ zero-padded panels.
+type Int8Panels struct {
+	data   []int8
+	rows   int // logical lane count (matrix rows packed across panels)
+	k      int // shared dimension
+	panels int
+}
+
+// Rows returns the logical lane count of the packed operand.
+func (p *Int8Panels) Rows() int { return p.rows }
+
+// K returns the packed shared-dimension length.
+func (p *Int8Panels) K() int { return p.k }
+
+// ensure sizes the panel buffer for rows×k, reusing capacity.
+func (p *Int8Panels) ensure(rows, k int) {
+	p.rows, p.k = rows, k
+	p.panels = (rows + int8Lanes - 1) / int8Lanes
+	need := p.panels * int8Lanes * k
+	if cap(p.data) < need {
+		p.data = make([]int8, need) //hpnn:allow(noalloc) grow-on-first-use; steady state reuses capacity
+	}
+	p.data = p.data[:need]
+}
+
+// PackInt8RowsInto packs src, a row-major [rows, k] int8 matrix, into
+// 4-wide lane panels: panel lane r holds row base+r with its k elements
+// contiguous. A nil dst allocates; steady-state callers pass the previous
+// value back in and no allocation occurs.
+func PackInt8RowsInto(dst *Int8Panels, src []int8, rows, k int) *Int8Panels {
+	if len(src) < rows*k {
+		panic("tensor: PackInt8RowsInto source shorter than rows×k")
+	}
+	if dst == nil {
+		dst = &Int8Panels{} //hpnn:allow(noalloc) first-use allocation; steady state passes a live value
+	}
+	dst.ensure(rows, k)
+	for pi := 0; pi < dst.panels; pi++ {
+		panel := dst.data[pi*int8Lanes*k : (pi+1)*int8Lanes*k]
+		base := pi * int8Lanes
+		lanes := rows - base
+		if lanes > int8Lanes {
+			lanes = int8Lanes
+		}
+		for lane := 0; lane < lanes; lane++ {
+			row := src[(base+lane)*k : (base+lane)*k+k]
+			for p, v := range row {
+				panel[p*int8Lanes+lane] = v
+			}
+		}
+		for lane := lanes; lane < int8Lanes; lane++ {
+			for p := 0; p < k; p++ {
+				panel[p*int8Lanes+lane] = 0
+			}
+		}
+	}
+	return dst
+}
+
+// PackInt8ColsInto packs src, a row-major [k, cols] int8 matrix, into
+// 4-wide lane panels whose lanes are columns of src — the im2col layout,
+// where each column is one output pixel's receptive field. A nil dst
+// allocates; steady-state callers reuse.
+func PackInt8ColsInto(dst *Int8Panels, src []int8, k, cols int) *Int8Panels {
+	if len(src) < k*cols {
+		panic("tensor: PackInt8ColsInto source shorter than k×cols")
+	}
+	if dst == nil {
+		dst = &Int8Panels{} //hpnn:allow(noalloc) first-use allocation; steady state passes a live value
+	}
+	dst.ensure(cols, k)
+	for pi := 0; pi < dst.panels; pi++ {
+		panel := dst.data[pi*int8Lanes*k : (pi+1)*int8Lanes*k]
+		base := pi * int8Lanes
+		lanes := cols - base
+		if lanes > int8Lanes {
+			lanes = int8Lanes
+		}
+		if lanes == int8Lanes {
+			for p := 0; p < k; p++ {
+				row := src[p*cols+base : p*cols+base+int8Lanes]
+				d := panel[p*int8Lanes : p*int8Lanes+int8Lanes]
+				d[0], d[1], d[2], d[3] = row[0], row[1], row[2], row[3]
+			}
+			continue
+		}
+		for p := 0; p < k; p++ {
+			row := src[p*cols+base : p*cols+base+lanes]
+			d := panel[p*int8Lanes : p*int8Lanes+int8Lanes]
+			for c := 0; c < int8Lanes; c++ {
+				if c < lanes {
+					d[c] = row[c]
+				} else {
+					d[c] = 0
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// int8Call is one product's dispatch context, shared with pool workers
+// through a pointer (ParallelCtx boxes a pointer without allocating).
+type int8Call struct {
+	a, b []int8
+	dst  []int32
+	m, n int
+	k    int
+	nP   int
+}
+
+// int8Free recycles dispatch contexts. A mutex-guarded LIFO freelist for
+// the same reason as the float engine's gemmFree: sync.Pool drops items
+// randomly under the race detector, which would make the zero-alloc pins
+// flaky; this list grows to the peak number of concurrent products and
+// then recycles forever.
+var int8Free struct {
+	sync.Mutex
+	list []*int8Call
+}
+
+func int8Acquire() *int8Call {
+	int8Free.Lock()
+	n := len(int8Free.list)
+	if n == 0 {
+		int8Free.Unlock()
+		return new(int8Call) //hpnn:allow(noalloc) freelist growth to the peak concurrent-product count, then recycled forever
+	}
+	c := int8Free.list[n-1]
+	int8Free.list = int8Free.list[:n-1]
+	int8Free.Unlock()
+	return c
+}
+
+func (c *int8Call) release() {
+	c.a, c.b, c.dst = nil, nil, nil
+	int8Free.Lock()
+	int8Free.list = append(int8Free.list, c) //hpnn:allow(noalloc) freelist push; capacity reaches the concurrency peak and stays
+	int8Free.Unlock()
+}
+
+// int8ParTiles is the tile count below which dispatch overhead beats the
+// pool: small products (a micro-batch through a narrow dense layer) run
+// inline on the caller.
+const int8ParTiles = 16
+
+// Int8MatMulPanelsInto computes dst[m×n] int32 = A·Bᵀ over two packed
+// operands sharing dimension k: dst[r·n+c] = Σ_p A.lane(r)[p]·B.lane(c)[p].
+// With A packed from a row-major [m, k] matrix and B from a row-major
+// [n, k] matrix this is the NT product; with B packed from an im2col
+// [k, n] matrix by columns it is the NN product — packing normalized the
+// distinction away, exactly as in the float engine.
+//
+// Results are bitwise-deterministic for any worker count: every output
+// element is written by exactly one tile and int32 accumulation is exact.
+//
+//hpnn:noalloc
+func Int8MatMulPanelsInto(dst []int32, a, b *Int8Panels) {
+	if a.k != b.k {
+		panic("tensor: Int8MatMulPanelsInto operands disagree on the shared dimension")
+	}
+	m, n := a.rows, b.rows
+	if len(dst) < m*n {
+		panic("tensor: Int8MatMulPanelsInto destination shorter than m×n")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	c := int8Acquire()
+	c.a, c.b, c.dst = a.data, b.data, dst
+	c.m, c.n, c.k, c.nP = m, n, a.k, b.panels
+	tiles := a.panels * b.panels
+	if tiles >= int8ParTiles && MaxWorkers() > 1 {
+		ParallelCtx(tiles, c, int8TileWorker)
+	} else {
+		for t := 0; t < tiles; t++ {
+			int8Tile(c, t)
+		}
+	}
+	c.release()
+}
+
+// int8TileWorker adapts int8Tile to the pool's context-kernel signature.
+//
+//hpnn:noalloc
+func int8TileWorker(ctx any, t int) { int8Tile(ctx.(*int8Call), t) }
+
+// int8Tile computes output tile t: the 4×4 block at panel row t/nP, panel
+// column t%nP. Edge tiles compute the full padded 4×4 (zero lanes
+// contribute zeros) and store only the valid region.
+//
+//hpnn:noalloc
+func int8Tile(c *int8Call, t int) {
+	k := c.k
+	ip, jp := t/c.nP, t%c.nP
+	ap := c.a[ip*int8Lanes*k : (ip+1)*int8Lanes*k]
+	bp := c.b[jp*int8Lanes*k : (jp+1)*int8Lanes*k]
+
+	var c00, c01, c02, c03 int32
+	var c10, c11, c12, c13 int32
+	var c20, c21, c22, c23 int32
+	var c30, c31, c32, c33 int32
+	for o := 0; o+3 < len(ap); o += 4 {
+		a0, a1, a2, a3 := int32(ap[o]), int32(ap[o+1]), int32(ap[o+2]), int32(ap[o+3])
+		b := bp[o : o+4 : len(bp)]
+		b0, b1, b2, b3 := int32(b[0]), int32(b[1]), int32(b[2]), int32(b[3])
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+
+	var acc [int8Lanes * int8Lanes]int32
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+
+	i0, j0 := ip*int8Lanes, jp*int8Lanes
+	mEff, nEff := c.m-i0, c.n-j0
+	if mEff > int8Lanes {
+		mEff = int8Lanes
+	}
+	if nEff > int8Lanes {
+		nEff = int8Lanes
+	}
+	for r := 0; r < mEff; r++ {
+		row := c.dst[(i0+r)*c.n+j0 : (i0+r)*c.n+j0+nEff]
+		at := acc[r*int8Lanes : r*int8Lanes+nEff]
+		for cc := range row {
+			row[cc] = at[cc]
+		}
+	}
+}
+
+// EnsureInt32s grows s to length n, reusing capacity. Contents are
+// unspecified after a resize.
+func EnsureInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n) //hpnn:allow(noalloc) grow-on-first-use; steady state reuses capacity
+	}
+	return s[:n]
+}
+
+// EnsureInt8s grows s to length n, reusing capacity. Contents are
+// unspecified after a resize.
+func EnsureInt8s(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n) //hpnn:allow(noalloc) grow-on-first-use; steady state reuses capacity
+	}
+	return s[:n]
+}

@@ -1,0 +1,174 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// int8Naive is the reference product: dst[r*n+c] = Σ_p A[r,p]·B[c,p] over
+// row-major [m, k] and [n, k] operands, in plain int32 arithmetic.
+func int8Naive(a []int8, m, k int, b []int8, n int) []int32 {
+	out := make([]int32, m*n)
+	for r := 0; r < m; r++ {
+		for c := 0; c < n; c++ {
+			var s int32
+			for p := 0; p < k; p++ {
+				s += int32(a[r*k+p]) * int32(b[c*k+p])
+			}
+			out[r*n+c] = s
+		}
+	}
+	return out
+}
+
+func fillInt8(dst []int8, seed uint64) {
+	s := seed
+	for i := range dst {
+		s = s*6364136223846793005 + 1442695040888963407
+		dst[i] = int8(s >> 56)
+	}
+}
+
+// transposeInt8 converts a row-major [r, c] matrix into row-major [c, r].
+func transposeInt8(src []int8, r, c int) []int8 {
+	out := make([]int8, len(src))
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out[j*r+i] = src[i*c+j]
+		}
+	}
+	return out
+}
+
+// TestInt8GEMMMatchesNaive sweeps shapes across tile edges (every residue
+// of the 4-lane panel width, plus k = 0 and the parallel-dispatch regime)
+// and checks the packed kernel against the naive reference exactly — int32
+// results have no tolerance.
+func TestInt8GEMMMatchesNaive(t *testing.T) {
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1}, {1, 1, 0}, {4, 4, 4}, {3, 5, 7}, {5, 3, 9},
+		{8, 8, 16}, {7, 9, 13}, {9, 7, 25}, {4, 16, 64},
+		{16, 4, 64}, {17, 19, 101}, {33, 31, 57}, {64, 64, 64},
+	}
+	var pa, pb *Int8Panels
+	for _, s := range shapes {
+		a := make([]int8, s.m*s.k)
+		b := make([]int8, s.n*s.k)
+		fillInt8(a, uint64(s.m*1000+s.k))
+		fillInt8(b, uint64(s.n*2000+s.k))
+		want := int8Naive(a, s.m, s.k, b, s.n)
+
+		pa = PackInt8RowsInto(pa, a, s.m, s.k)
+		pb = PackInt8RowsInto(pb, b, s.n, s.k)
+		got := make([]int32, s.m*s.n)
+		Int8MatMulPanelsInto(got, pa, pb)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shape %dx%dx%d: element %d = %d, want %d", s.m, s.n, s.k, i, got[i], want[i])
+			}
+		}
+
+		// Column packing of the transposed operand must land in the same
+		// panels: B[n,k] row-packed == Bᵀ[k,n] column-packed.
+		bt := transposeInt8(b, s.n, s.k)
+		pbc := PackInt8ColsInto(nil, bt, s.k, s.n)
+		got2 := make([]int32, s.m*s.n)
+		Int8MatMulPanelsInto(got2, pa, pbc)
+		for i := range want {
+			if got2[i] != want[i] {
+				t.Fatalf("shape %dx%dx%d (col-packed): element %d = %d, want %d", s.m, s.n, s.k, i, got2[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInt8GEMMOverflowWraps pins the wrap-around semantics the bitwise
+// equality with the simulator's accumulator chain rests on: int32 overflow
+// must wrap identically to the naive sequential accumulation.
+func TestInt8GEMMOverflowWraps(t *testing.T) {
+	const m, n, k = 4, 4, 200000 // 200k·127·127 ≫ MaxInt32: guaranteed overflow
+	a := make([]int8, m*k)
+	b := make([]int8, n*k)
+	for i := range a {
+		a[i] = 127
+	}
+	for i := range b {
+		b[i] = 127
+	}
+	want := int8Naive(a, m, k, b, n)
+	got := make([]int32, m*n)
+	Int8MatMulPanelsInto(got, PackInt8RowsInto(nil, a, m, k), PackInt8RowsInto(nil, b, n, k))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("overflow wrap diverges at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInt8GEMMDeterministicAcrossWorkers runs one large product under
+// worker caps 1, 2 and 8 and demands bitwise-identical results — the
+// property the batched inference engine's golden-reference contract needs
+// from this kernel.
+func TestInt8GEMMDeterministicAcrossWorkers(t *testing.T) {
+	const m, n, k = 61, 67, 129
+	a := make([]int8, m*k)
+	b := make([]int8, n*k)
+	fillInt8(a, 7)
+	fillInt8(b, 11)
+	pa := PackInt8RowsInto(nil, a, m, k)
+	pb := PackInt8RowsInto(nil, b, n, k)
+
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	ref := make([]int32, m*n)
+	Int8MatMulPanelsInto(ref, pa, pb)
+	for _, w := range []int{2, 8} {
+		SetMaxWorkers(w)
+		got := make([]int32, m*n)
+		Int8MatMulPanelsInto(got, pa, pb)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: element %d = %d, want %d (workers=1)", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestInt8GEMMZeroAllocSteadyState pins the packed path — both pack
+// orientations and the tile-grid product — at zero allocations per call
+// once every buffer has been through one warmup.
+func TestInt8GEMMZeroAllocSteadyState(t *testing.T) {
+	const m, n, k = 32, 48, 96
+	a := make([]int8, m*k)
+	b := make([]int8, n*k)
+	fillInt8(a, 3)
+	fillInt8(b, 5)
+	bt := transposeInt8(b, n, k) // [k, n], column-packed below
+	var pa, pb *Int8Panels
+	dst := make([]int32, m*n)
+	mustZeroAllocs(t, "int8 pack+GEMM", func() {
+		pa = PackInt8RowsInto(pa, a, m, k)
+		pb = PackInt8ColsInto(pb, bt, k, n)
+		Int8MatMulPanelsInto(dst, pa, pb)
+	})
+}
+
+// TestInt8GEMMPanics pins the guard rails: mismatched shared dimensions
+// and short destinations must panic rather than corrupt memory.
+func TestInt8GEMMPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	a := PackInt8RowsInto(nil, make([]int8, 4*3), 4, 3)
+	b := PackInt8RowsInto(nil, make([]int8, 4*5), 4, 5)
+	expectPanic("k mismatch", func() { Int8MatMulPanelsInto(make([]int32, 16), a, b) })
+	b2 := PackInt8RowsInto(nil, make([]int8, 4*3), 4, 3)
+	expectPanic("short dst", func() { Int8MatMulPanelsInto(make([]int32, 15), a, b2) })
+	expectPanic("short pack src", func() { PackInt8RowsInto(nil, make([]int8, 5), 2, 3) })
+	expectPanic("short col src", func() { PackInt8ColsInto(nil, make([]int8, 5), 3, 2) })
+}

@@ -1,0 +1,374 @@
+package tpu
+
+import (
+	"fmt"
+
+	"hpnn/internal/core"
+	"hpnn/internal/tensor"
+)
+
+// This file is the production int8 execution tier: PredictBatch runs a
+// micro-batch [N, C, H, W] through a compiled plan on the packed int8 GEMM
+// engine (tensor/gemm8.go) instead of the simulated MMU, amortizing
+// quantization, im2col and lock lowering across the batch.
+//
+// The tier is differentially pinned to the simulator: for every registered
+// lock scheme, every sample of a batch must produce bit-for-bit the same
+// activations — and therefore the same predictions and hardware counters —
+// as the golden per-sample path (plan.go → mmu.go). The equality is not
+// approximate. It rests on three facts:
+//
+//   - int32 addition is exact and wraps identically in any association
+//     (Z/2^32 is a commutative ring), so the GEMM's tiled sum, plus the
+//     bias, equals the accumulator chain's sequential preload-and-add;
+//   - the HPNN lock factor L ∈ {+1, −1} applied by the key-conditioned
+//     accumulator is a post-sum negation: −(b+Σ) under wrapping arithmetic
+//     equals the branchless two's-complement flip (s ^ −1) − (−1), so the
+//     lock folds into the kernel epilogue as a per-output sign mask;
+//   - activation quantization is per sample in both paths (quantizeSlice is
+//     operation-for-operation QuantizeToInto), so scales — and thus every
+//     downstream float — agree bitwise.
+//
+// Key bits are cached as sign masks per op. Revocation is the only runtime
+// event that changes a ColumnBit answer, so each op probes the device's
+// revocation state once per batch (lockMask.refresh) instead of re-asking
+// for every output of every sample — the cache can never serve stale lock
+// state across a license pull.
+//
+// Diagnostic device modes (GateLevel, Systolic) intentionally bypass this
+// tier: PredictBatch falls back to the per-sample simulator so those modes
+// keep observing every gate evaluation.
+
+// lockMask caches the per-output sign masks an op derives from the sealed
+// device's key bits: neg[j] is −1 where the key bit reads 1 (negating
+// accumulator) and 0 elsewhere, so the epilogue flip is branch-free:
+// (s ^ neg) − neg. locked counts the negating outputs, feeding the same
+// LockedOutputs accounting as the golden path.
+type lockMask struct {
+	built   bool
+	revoked bool // device revocation state the mask was built under
+	neg     []int32
+	locked  uint64
+}
+
+// refresh rebuilds the mask if it has never been built or the device's
+// revocation state changed since it was. One Revoked probe per op per batch
+// keeps the cache honest; everything else is cached forever (key bits are
+// sealed in hardware and cannot change).
+//
+//hpnn:noalloc
+func (lm *lockMask) refresh(m *MMU, cols []int) {
+	rev := m.deviceRevoked()
+	if lm.built && lm.revoked == rev && len(lm.neg) == len(cols) {
+		return
+	}
+	lm.neg = tensor.EnsureInt32s(lm.neg, len(cols))
+	lm.locked = 0
+	for i, c := range cols {
+		if m.columnBit(c) == 1 {
+			lm.neg[i] = -1
+			lm.locked++
+		} else {
+			lm.neg[i] = 0
+		}
+	}
+	lm.built = true
+	lm.revoked = rev
+}
+
+// --- batched op implementations ---------------------------------------------
+
+func (o *convOp) applyBatch(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	g := o.geom
+	if len(act.Shape) != 4 || act.Shape[1] != g.InC || act.Shape[2] != g.InH || act.Shape[3] != g.InW {
+		//hpnn:allow(noalloc) cold error path
+		return nil, fmt.Errorf("tpu: batched conv input %v does not match geometry %+v", act.Shape, g)
+	}
+	n := act.Shape[0]
+	pix := g.OutH() * g.OutW()
+	kDim := g.ColRows()
+	if o.qW == nil {
+		o.qW = a.quantize(o.w)
+	}
+	if o.pW == nil {
+		// Weights quantize and pack once; the panel is cached for the
+		// plan's lifetime, like the golden path's qW.
+		o.pW = tensor.PackInt8RowsInto(o.pW, o.qW.Data, o.outC, kDim)
+	}
+	if o.lockID != "" && !o.colsSet {
+		o.cols = a.low.MACColumns(o.lockID, o.outC*pix)
+		o.colsSet = true
+	}
+	locked := uint64(0)
+	if o.cols != nil {
+		o.mask.refresh(a.mmu, o.cols)
+		locked = o.mask.locked
+	}
+
+	// With stride 1 every input pixel lands in at least one receptive
+	// field (the gathered offsets ky−Pad … InH+Pad−KH+ky−Pad cover
+	// 0 … InH−1 contiguously, and likewise for width), so the column
+	// matrix contains exactly the image's values plus padding zeros and
+	// MaxAbs(col) == MaxAbs(image). That lets the fast path quantize the
+	// C·H·W image once and gather int8 codes — identical scale, identical
+	// per-value rounding, ~KH·KW× less rounding work — instead of
+	// quantizing the C·KH·KW·OutH·OutW column matrix like the golden path
+	// does. Strided geometries can skip pixels, so they keep the
+	// quantize-the-columns order.
+	fastQuant := g.Stride == 1
+	var col *tensor.Tensor
+	if fastQuant {
+		o.bImg8 = tensor.EnsureInt8s(o.bImg8, g.InLen())
+		o.bCol8 = tensor.EnsureInt8s(o.bCol8, kDim*pix)
+	} else {
+		col = a.ws.Get(o.bColKey, kDim, pix)
+	}
+	out := a.ws.Get(o.bOutKey, n, o.outC, g.OutH(), g.OutW())
+	o.bAcc = tensor.EnsureInt32s(o.bAcc, o.outC*pix)
+	sampleIn := g.InC * g.InH * g.InW
+	sampleOut := o.outC * pix
+	for i := 0; i < n; i++ {
+		// Quantization is per sample — the scale tracks each sample's
+		// dynamic range exactly as the golden path's does, which is what
+		// keeps the two paths bitwise-equal.
+		var accScale float64
+		if fastQuant {
+			scale := quantizeSlice(o.bImg8, act.Data[i*sampleIn:(i+1)*sampleIn], a.bits)
+			tensor.Im2ColInt8Slice(o.bCol8, o.bImg8, g)
+			accScale = scale * o.qW.Scale
+			o.pCol = tensor.PackInt8ColsInto(o.pCol, o.bCol8, kDim, pix)
+		} else {
+			tensor.Im2ColSlice(col.Data, act.Data[i*sampleIn:(i+1)*sampleIn], g)
+			o.qIn = QuantizeToInto(o.qIn, col, a.bits)
+			accScale = o.qIn.Scale * o.qW.Scale
+			o.pCol = tensor.PackInt8ColsInto(o.pCol, o.qIn.Data, kDim, pix)
+		}
+		o.bias = QuantizeBiasInto(o.bias, o.b, accScale)
+		tensor.Int8MatMulPanelsInto(o.bAcc, o.pW, o.pCol)
+		for oc := 0; oc < o.outC; oc++ {
+			row := o.bAcc[oc*pix : (oc+1)*pix]
+			b := o.bias[oc]
+			if o.cols == nil {
+				for j := range row {
+					row[j] += b
+				}
+			} else {
+				mrow := o.mask.neg[oc*pix : (oc+1)*pix]
+				for j := range row {
+					s := row[j] + b
+					m := mrow[j]
+					row[j] = (s ^ m) - m
+				}
+			}
+		}
+		a.mmu.accountMatMul(o.outC, kDim, pix, 0, locked)
+		o.q8 = finishMACSlice(out.Data[i*sampleOut:(i+1)*sampleOut], o.bAcc, accScale, o.relu, o.q8)
+	}
+	return out, nil
+}
+
+func (o *denseOp) applyBatch(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(act.Shape) < 2 {
+		//hpnn:allow(noalloc) cold error path
+		return nil, fmt.Errorf("tpu: batched dense input %v has no batch dimension", act.Shape)
+	}
+	n := act.Shape[0]
+	if act.Len() != n*o.in {
+		//hpnn:allow(noalloc) cold error path
+		return nil, fmt.Errorf("tpu: batched dense input %v does not match layer width %d", act.Shape, o.in)
+	}
+	if o.qW == nil {
+		o.qW = a.quantize(o.w)
+	}
+	if o.pW == nil {
+		o.pW = tensor.PackInt8RowsInto(o.pW, o.qW.Data, o.out, o.in)
+	}
+	if o.lockID != "" && !o.colsSet {
+		o.cols = a.low.MACColumns(o.lockID, o.out)
+		o.colsSet = true
+	}
+	locked := uint64(0)
+	if o.cols != nil {
+		o.mask.refresh(a.mmu, o.cols)
+		locked = o.mask.locked
+	}
+
+	// Per-sample quantization, then ONE GEMM over the whole micro-batch:
+	// the packed sample rows are the left operand, the cached weight panel
+	// the right — the equal lane widths of the int8 engine make the same
+	// weight pack serve both conv (left) and dense (right) roles.
+	o.bQ8 = tensor.EnsureInt8s(o.bQ8, n*o.in)
+	o.bScales = tensor.EnsureFloats(o.bScales, n)
+	for i := 0; i < n; i++ {
+		o.bScales[i] = quantizeSlice(o.bQ8[i*o.in:(i+1)*o.in], act.Data[i*o.in:(i+1)*o.in], a.bits)
+	}
+	o.pX = tensor.PackInt8RowsInto(o.pX, o.bQ8, n, o.in)
+	o.bAcc = tensor.EnsureInt32s(o.bAcc, n*o.out)
+	tensor.Int8MatMulPanelsInto(o.bAcc, o.pX, o.pW)
+
+	out := a.ws.Get(o.bOutKey, n, o.out)
+	for i := 0; i < n; i++ {
+		accScale := o.bScales[i] * o.qW.Scale
+		o.bias = QuantizeBiasInto(o.bias, o.b, accScale)
+		row := o.bAcc[i*o.out : (i+1)*o.out]
+		if o.cols == nil {
+			for j := range row {
+				row[j] += o.bias[j]
+			}
+		} else {
+			for j := range row {
+				s := row[j] + o.bias[j]
+				m := o.mask.neg[j]
+				row[j] = (s ^ m) - m
+			}
+		}
+		a.mmu.accountMatMul(o.out, o.in, 1, 0, locked)
+		o.q8 = finishMACSlice(out.Data[i*o.out:(i+1)*o.out], row, accScale, o.relu, o.q8)
+	}
+	return out, nil
+}
+
+// vectorOp and affineOp: the nn vector-unit layers natively handle a
+// leading batch dimension with per-sample workers over disjoint regions,
+// so each sample's result is bitwise-independent of its batch — the batched
+// tier passes the block straight through.
+func (o *vectorOp) applyBatch(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	return o.layer.Forward(act, false), nil
+}
+
+func (o *affineOp) applyBatch(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	return o.bn.Forward(act, false), nil
+}
+
+func (o *lockReluOp) applyBatch(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	out := a.ws.Get(o.bOutKey, act.Shape...)
+	copy(out.Data, act.Data)
+	if o.lockID != "" {
+		n := act.Shape[0]
+		per := act.Len() / maxInt(n, 1)
+		if per != o.neurons {
+			//hpnn:allow(noalloc) cold error path
+			return nil, fmt.Errorf("tpu: lock %s sized %d applied to %d activations per sample", o.lockID, o.neurons, per)
+		}
+		if !o.colsSet {
+			o.cols = a.low.MACColumns(o.lockID, o.neurons)
+			o.colsSet = true
+		}
+		if o.cols != nil {
+			o.mask.refresh(a.mmu, o.cols)
+			for i := 0; i < n; i++ {
+				seg := out.Data[i*per : (i+1)*per]
+				for j, m := range o.mask.neg {
+					if m != 0 {
+						seg[j] = -seg[j]
+					}
+				}
+			}
+		}
+	}
+	if o.relu {
+		for j, v := range out.Data {
+			if v < 0 {
+				out.Data[j] = 0
+			}
+		}
+	}
+	return out, nil
+}
+
+func (o *residualOp) applyBatch(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {
+	body, err := runOpsBatch(a, o.body, act)
+	if err != nil {
+		return nil, err
+	}
+	skip := act
+	if o.skip != nil {
+		if skip, err = runOpsBatch(a, o.skip, act); err != nil {
+			return nil, err
+		}
+	}
+	if body.Len() != skip.Len() {
+		//hpnn:allow(noalloc) cold error path
+		return nil, fmt.Errorf("tpu: batched residual join mismatch %v vs %v", body.Shape, skip.Shape)
+	}
+	sum := a.ws.Get(o.bSumKey, body.Shape...)
+	for i := range sum.Data {
+		sum.Data[i] = body.Data[i] + skip.Data[i]
+	}
+	return runOpsBatch(a, o.post, sum)
+}
+
+func runOpsBatch(a *Accelerator, ops []planOp, act *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for _, op := range ops {
+		if act, err = op.applyBatch(a, act); err != nil {
+			return nil, fmt.Errorf("%s: %w", op.opName(), err) //hpnn:allow(noalloc) cold error path
+		}
+	}
+	return act, nil
+}
+
+// --- entry points ------------------------------------------------------------
+
+// PredictBatchInto runs the micro-batch x ([N, C, H, W]) through the model
+// on the batched int8 tier, writing the argmax class of sample i into
+// preds[i]. It is the serving layer's batch entry point: zero heap
+// allocations in steady state, and bit-for-bit the predictions (and
+// hardware counters) the golden per-sample simulator would produce.
+//
+// Diagnostic device modes (GateLevel, Systolic) route through the
+// per-sample simulator so gate-level observability is preserved; results
+// are identical either way.
+//
+//hpnn:noalloc
+func (a *Accelerator) PredictBatchInto(preds []int, m *core.Model, x *tensor.Tensor) error {
+	plan, err := a.planFor(m)
+	if err != nil {
+		return err
+	}
+	if len(x.Shape) < 2 {
+		//hpnn:allow(noalloc) cold error path
+		return fmt.Errorf("tpu: batched input %v has no batch dimension", x.Shape)
+	}
+	n := x.Shape[0]
+	if n == 0 {
+		return nil
+	}
+	if len(preds) < n {
+		//hpnn:allow(noalloc) cold error path
+		return fmt.Errorf("tpu: prediction buffer %d shorter than batch %d", len(preds), n)
+	}
+	if a.mmu.cfg.GateLevel || a.mmu.cfg.Systolic {
+		feat := x.Len() / n
+		for i := 0; i < n; i++ {
+			sample := tensor.ViewInto(&a.sampleView, x.Data[i*feat:(i+1)*feat], x.Shape[1:]...)
+			out, err := runOps(a, plan, sample)
+			if err != nil {
+				return err
+			}
+			preds[i] = tensor.Argmax(out.Data)
+		}
+		return nil
+	}
+	out, err := runOpsBatch(a, plan, x)
+	if err != nil {
+		return err
+	}
+	cls := out.Len() / n
+	for i := 0; i < n; i++ {
+		preds[i] = tensor.Argmax(out.Data[i*cls : (i+1)*cls])
+	}
+	return nil
+}
+
+// PredictBatch is PredictBatchInto allocating the prediction slice.
+func (a *Accelerator) PredictBatch(m *core.Model, x *tensor.Tensor) ([]int, error) {
+	if len(x.Shape) < 2 {
+		return nil, fmt.Errorf("tpu: batched input %v has no batch dimension", x.Shape)
+	}
+	preds := make([]int, x.Shape[0])
+	if err := a.PredictBatchInto(preds, m, x); err != nil {
+		return nil, err
+	}
+	return preds, nil
+}

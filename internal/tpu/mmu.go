@@ -90,6 +90,15 @@ func (m *MMU) columnBit(col int) byte {
 	return m.dev.ColumnBit(col)
 }
 
+// deviceRevoked reports whether the attached device's license has been
+// pulled. The batched engine caches per-output sign masks derived from
+// ColumnBit, and revocation is the only event that changes those answers
+// at runtime — so one revocation probe per op per batch keeps the cache
+// honest without re-querying every column bit per output.
+func (m *MMU) deviceRevoked() bool {
+	return m.dev != nil && m.dev.Revoked()
+}
+
 // MatMulLocked computes out[o][p] = L·(Σ_k W[o][k]·X[k][p] + bias[o]) in
 // int32, where the lock factor L of output neuron (o, p) is set by the key
 // bit of accumulator column cols[o·P+p] (the hardware schedule's

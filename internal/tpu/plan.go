@@ -31,9 +31,13 @@ import (
 // This is what lets the full ResNet-18 of Fig. 3/Fig. 5 execute on the
 // simulated device, not just the sequential CNNs of Table I.
 
-// planOp is one compiled accelerator operation.
+// planOp is one compiled accelerator operation. apply is the golden
+// per-sample path through the simulated MMU; applyBatch is the production
+// int8 tier (batch.go), which executes the same plan over a [N, ...]
+// activation block and must match apply bitwise, sample for sample.
 type planOp interface {
 	apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error)
+	applyBatch(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error)
 	opName() string
 }
 
@@ -69,7 +73,7 @@ func (c *planCompiler) compile(net *nn.Network) ([]planOp, error) {
 		case *nn.MaxPool, *nn.AvgPool, *nn.GlobalAvgPool, *nn.Flatten:
 			ops = append(ops, &vectorOp{layer: cloneVectorLayer(layers[i])})
 		case *nn.ReLU:
-			ops = append(ops, &lockReluOp{relu: true, outKey: c.key("relu")})
+			ops = append(ops, &lockReluOp{relu: true, outKey: c.key("relu"), bOutKey: c.key("relu.b")})
 		case *nn.Lock:
 			relu := false
 			if i+1 < len(layers) {
@@ -80,7 +84,7 @@ func (c *planCompiler) compile(net *nn.Network) ([]planOp, error) {
 			}
 			ops = append(ops, &lockReluOp{
 				lockID: l.ID, neurons: l.Neurons(), relu: relu,
-				outKey: c.key("lockrelu"),
+				outKey: c.key("lockrelu"), bOutKey: c.key("lockrelu.b"),
 			})
 		case *nn.BatchNorm2D:
 			// Standalone BN (not behind a conv): eval-mode affine.
@@ -100,7 +104,7 @@ func (c *planCompiler) compile(net *nn.Network) ([]planOp, error) {
 			if err != nil {
 				return nil, err
 			}
-			ops = append(ops, &residualOp{body: body, skip: skip, post: post, sumKey: c.key("ressum")})
+			ops = append(ops, &residualOp{body: body, skip: skip, post: post, sumKey: c.key("ressum"), bSumKey: c.key("ressum.b")})
 		default:
 			return nil, fmt.Errorf("tpu: layer %s is not supported on the accelerator datapath", layers[i].Name())
 		}
@@ -146,6 +150,7 @@ func (c *planCompiler) fuseMAC(layers []nn.Layer, i int) (planOp, int, error) {
 			w: w, b: b,
 			lockID: lockID, lockN: lockN, relu: relu,
 			colKey: c.key("conv.col"), outKey: c.key("conv.out"),
+			bColKey: c.key("conv.bcol"), bOutKey: c.key("conv.bout"),
 		}, consumed, nil
 	case *nn.Dense:
 		if bn != nil {
@@ -155,7 +160,7 @@ func (c *planCompiler) fuseMAC(layers []nn.Layer, i int) (planOp, int, error) {
 			in: mac.In, out: mac.Out,
 			w: mac.W.Value, b: mac.B.Value,
 			lockID: lockID, lockN: lockN, relu: relu,
-			outKey: c.key("dense.out"),
+			outKey: c.key("dense.out"), bOutKey: c.key("dense.bout"),
 		}, consumed, nil
 	default:
 		return nil, 0, fmt.Errorf("tpu: fuseMAC on non-MAC layer %s", layers[i].Name())
@@ -234,6 +239,15 @@ type convOp struct {
 	colsSet        bool // scheme lowering answered (nil = no in-datapath lock)
 	q8             []int8
 	acc            []int32
+
+	// Batched-tier state (batch.go). Separate workspace keys from the
+	// per-sample path so either entry point can be warmed and sealed
+	// independently of the other.
+	bColKey, bOutKey string
+	pW, pCol         *tensor.Int8Panels
+	bAcc             []int32
+	bImg8, bCol8     []int8 // stride-1 fast path: quantized image + int8 column gather
+	mask             lockMask
 }
 
 func (o *convOp) opName() string { return "conv" }
@@ -279,6 +293,14 @@ type denseOp struct {
 	colsSet bool
 	q8      []int8
 	acc     []int32
+
+	// Batched-tier state (batch.go).
+	bOutKey string
+	pW, pX  *tensor.Int8Panels
+	bAcc    []int32
+	bQ8     []int8
+	bScales []float64
+	mask    lockMask
 }
 
 func (o *denseOp) opName() string { return "dense" }
@@ -333,6 +355,10 @@ type lockReluOp struct {
 	outKey  string
 	cols    []int
 	colsSet bool
+
+	// Batched-tier state (batch.go).
+	bOutKey string
+	mask    lockMask
 }
 
 func (o *lockReluOp) opName() string { return "lockrelu" }
@@ -391,6 +417,7 @@ func (o *affineOp) apply(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, er
 type residualOp struct {
 	body, skip, post []planOp
 	sumKey           string
+	bSumKey          string
 }
 
 func (o *residualOp) opName() string { return "residual" }
@@ -430,15 +457,23 @@ func runOps(a *Accelerator, ops []planOp, act *tensor.Tensor) (*tensor.Tensor, e
 // dequantization into out, reusing q8 as the requantization buffer; the
 // possibly regrown buffer is returned for the op to keep.
 func finishMACInto(out *tensor.Tensor, acc []int32, accScale float64, relu bool, q8 []int8) []int8 {
+	return finishMACSlice(out.Data, acc, accScale, relu, q8)
+}
+
+// finishMACSlice is the raw-slice core of finishMACInto, shared with the
+// batched tier, which finishes each sample into its segment of the batch
+// output block. Both paths run the exact same float operations, which is
+// part of the bitwise golden-reference contract.
+func finishMACSlice(dst []float64, acc []int32, accScale float64, relu bool, q8 []int8) []int8 {
 	if relu {
 		q, scale := ReLUQuantizeInto(q8, acc, accScale)
 		for i, v := range q {
-			out.Data[i] = float64(v) * scale
+			dst[i] = float64(v) * scale
 		}
 		return q
 	}
 	for i, v := range acc {
-		out.Data[i] = float64(v) * accScale
+		dst[i] = float64(v) * accScale
 	}
 	return q8
 }

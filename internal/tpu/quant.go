@@ -80,6 +80,47 @@ func QuantizeToInto(q *QTensor, t *tensor.Tensor, bits int) *QTensor {
 	return q
 }
 
+// quantizeSlice quantizes src into dst (same length, caller-sized) and
+// returns the symmetric scale. It is the raw-slice core of QuantizeToInto
+// and MUST stay operation-for-operation identical to it — same max-abs
+// scan, same scale rule, same round-and-clamp — because the batched engine
+// quantizes each sample's row through this path while the golden simulator
+// goes through QuantizeToInto, and the two must produce bitwise-identical
+// int8 streams (pinned by TestQuantizeSliceMatchesQuantizeToInto).
+//
+//hpnn:noalloc
+func quantizeSlice(dst []int8, src []float64, bits int) float64 {
+	if len(dst) != len(src) {
+		panic("tpu: quantizeSlice length mismatch")
+	}
+	if bits < 2 || bits > 8 {
+		panic(fmt.Sprintf("tpu: quantization width %d out of [2,8]", bits))
+	}
+	qmax := float64(int(1)<<(bits-1) - 1)
+	maxAbs := 0.0
+	for _, v := range src {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := 1.0
+	if maxAbs > 0 {
+		scale = maxAbs / qmax
+	}
+	inv := 1 / scale
+	for i, v := range src {
+		r := math.Round(v * inv)
+		if r > qmax {
+			r = qmax
+		}
+		if r < -qmax {
+			r = -qmax
+		}
+		dst[i] = int8(r)
+	}
+	return scale
+}
+
 func clampInt8(v float64) int8 {
 	if v > 127 {
 		return 127

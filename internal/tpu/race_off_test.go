@@ -1,0 +1,5 @@
+//go:build !race
+
+package tpu
+
+const raceEnabled = false

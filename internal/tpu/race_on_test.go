@@ -1,0 +1,8 @@
+//go:build race
+
+package tpu
+
+// raceEnabled lets allocation-count pins skip under the race detector,
+// whose instrumentation allocates on paths that are allocation-free in a
+// normal build.
+const raceEnabled = true

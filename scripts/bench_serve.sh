@@ -1,0 +1,60 @@
+#!/bin/sh
+# Serve-engine throughput tracker: runs the engine-comparison grid
+# (BenchmarkServeEngines in internal/serve) — batch-8 CNN1 traffic through
+# the golden per-sample engine vs the batched int8 engine, for every
+# registered lock scheme — and emits machine-readable
+# results/BENCH_serve.json with samples/sec per cell and a batched/golden
+# speedup ratio per scheme. The engines answer bitwise-identically (pinned
+# by the serve differential suite), so the ratio is pure cost: it measures
+# what folding the lock into the batched kernels buys. The acceptance bar
+# tracked in EXPERIMENTS.md is >=4x on the default scheme.
+#
+# BENCHTIME=2s scripts/bench_serve.sh   # longer runs for stable numbers
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1s}"
+out=results/BENCH_serve.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkServeEngines$' \
+	-benchtime "$benchtime" ./internal/serve/ | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
+/^BenchmarkServeEngines\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkServeEngines\//, "", name)
+	split(name, part, "/")
+	scheme = part[1]; sub(/^scheme=/, "", scheme)
+	engine = part[2]; sub(/^engine=/, "", engine)
+	sps = 0
+	for (i = 2; i <= NF; i++)
+		if ($i == "samples/sec") sps = $(i - 1)
+	rate[scheme "," engine] = sps
+	if (!(scheme in seen)) { seen[scheme] = 1; order[++n] = scheme }
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"model\": \"CNN1 16x16\",\n"
+	printf "  \"batch\": 8,\n"
+	printf "  \"samples_per_sec\": {\n"
+	for (i = 1; i <= n; i++) {
+		s = order[i]
+		printf "    \"%s\": {\"golden\": %s, \"batched\": %s}%s\n",
+			s, rate[s ",golden"], rate[s ",batched"], (i < n ? "," : "")
+	}
+	printf "  },\n"
+	printf "  \"speedup_batched_over_golden\": {\n"
+	for (i = 1; i <= n; i++) {
+		s = order[i]
+		printf "    \"%s\": %.2f%s\n",
+			s, rate[s ",batched"] / rate[s ",golden"], (i < n ? "," : "")
+	}
+	printf "  }\n}\n"
+}' "$tmp" >"$out"
+
+echo "wrote $out"

@@ -28,8 +28,15 @@ go test -race -run 'TestBitwiseResume|TestResumeValidation|TestTrainerMatchesInl
 go test -race -run 'TestCheckpoint' ./internal/modelio/
 # Packed GEMM engine invariants under the race detector: worker-count
 # independence (bitwise) and the zero-alloc steady-state pin for the
-# pooled packing scratch. By name, so the gate stays fast.
-go test -race -run 'TestGEMMDeterministicAcrossWorkers|TestGEMMZeroAllocSteadyState|TestGEMMMatchesNaive' ./internal/tensor/
+# pooled packing scratch. By name, so the gate stays fast. TestInt8GEMM
+# covers the int8 panel engine behind the batched inference tier.
+go test -race -run 'TestGEMMDeterministicAcrossWorkers|TestGEMMZeroAllocSteadyState|TestGEMMMatchesNaive|TestInt8GEMM' ./internal/tensor/
+# Batched int8 inference tier: bitwise parity with the per-sample golden
+# path across every registered scheme, worker-count determinism, partial
+# batches after Seal, revocation mid-service, and the quantizer pin. The
+# checked-in fuzz corpus replays as unit cases under -race; the zero-alloc
+# pin skips itself when the race detector is on.
+go test -race -run 'TestPredictBatch|TestQuantizeSlice|FuzzPredictBatch' ./internal/tpu/
 # Lock-scheme contract suite in its quick profile: every registered backend
 # must honor the roundtrip/collapse/leakage/revocation clauses. -short
 # selects QuickContract (small victims, seconds per scheme).
