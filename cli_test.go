@@ -8,6 +8,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -338,5 +339,232 @@ func TestCLIBenchAndZoo(t *testing.T) {
 	run("-server", base, "-fetch", "tiny", "-out", fetched)
 	if _, err := os.Stat(fetched); err != nil {
 		t.Fatal("fetched model not written")
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the zoo-mode serve test
+// polls a live process's output while the process keeps writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestCLIServeZoo drives the multi-tenant story end to end through the
+// real tools: publish three models into a live zoo (one straight from an
+// HPCK checkpoint via -publish-ckpt), serve them all from one hpnn-serve
+// process with per-model keys, route v2 requests per model (and a v1
+// request to the default tenant), re-publish a model and watch the server
+// hot-swap it, then drain and check the per-tenant registry report.
+func TestCLIServeZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"hpnn-train", "hpnn-zoo", "hpnn-serve"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	// Two trained models: alpha from a published .hpnn, beta left as a
+	// private HPCK checkpoint for the -publish-ckpt path.
+	modelA := filepath.Join(dir, "a.hpnn")
+	keyA := filepath.Join(dir, "keyA.hex")
+	if out, err := exec.Command(bin("hpnn-train"),
+		"-dataset", "fashion", "-train-n", "100", "-test-n", "30",
+		"-epochs", "1", "-out", modelA, "-key-out", keyA).CombinedOutput(); err != nil {
+		t.Fatalf("hpnn-train: %v\n%s", err, out)
+	}
+	ckptB := filepath.Join(dir, "b.ckpt")
+	keyB := filepath.Join(dir, "keyB.hex")
+	if out, err := exec.Command(bin("hpnn-train"),
+		"-dataset", "fashion", "-train-n", "100", "-test-n", "30", "-seed", "9",
+		"-epochs", "1", "-out", filepath.Join(dir, "b.hpnn"), "-key-out", keyB,
+		"-checkpoint", ckptB).CombinedOutput(); err != nil {
+		t.Fatalf("hpnn-train (checkpoint): %v\n%s", err, out)
+	}
+
+	// Zoo server.
+	const zooAddr = "127.0.0.1:18744"
+	zooSrv := exec.Command(bin("hpnn-zoo"), "-serve", "-addr", zooAddr)
+	if err := zooSrv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer zooSrv.Process.Kill()
+	base := "http://" + zooAddr
+	ready := false
+	for i := 0; i < 50; i++ {
+		if resp, err := http.Get(base + "/models"); err == nil {
+			resp.Body.Close()
+			ready = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("zoo server did not start")
+	}
+	zoo := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin("hpnn-zoo"), append([]string{"-server", base}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("hpnn-zoo %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+	// Three tenants: alpha (published file, keyed), beta (straight from the
+	// HPCK checkpoint, keyed), gamma (same published weights as alpha but
+	// no key — the commodity scenario).
+	zoo("-publish", "alpha", "-model", modelA)
+	out := zoo("-publish", "beta", "-publish-ckpt", ckptB, "-key-file", keyB)
+	if !strings.Contains(out, "published checkpoint") {
+		t.Fatalf("checkpoint publish output unexpected:\n%s", out)
+	}
+	zoo("-publish", "gamma", "-model", modelA)
+	if out := zoo("-list"); !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") ||
+		!strings.Contains(out, "v1") {
+		t.Fatalf("zoo list missing entries or versions:\n%s", out)
+	}
+
+	// Per-model keys for the serving process.
+	keysDir := filepath.Join(dir, "keys")
+	if err := os.MkdirAll(keysDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]string{"alpha": keyA, "beta": keyB} {
+		raw, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(keysDir, name+".hex"), raw, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One serving process for the whole zoo, polling for hot-swaps.
+	const addr = "127.0.0.1:18745"
+	var output syncBuffer
+	srv := exec.Command(bin("hpnn-serve"),
+		"-zoo", base, "-keys-dir", keysDir, "-default-model", "alpha",
+		"-poll", "200ms", "-addr", addr, "-shards", "2")
+	srv.Stdout, srv.Stderr = &output, &output
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	var conn net.Conn
+	var err error
+	for i := 0; i < 100; i++ {
+		if conn, err = net.Dial("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("serve did not come up: %v\n%s", err, output.String())
+	}
+	defer conn.Close()
+
+	ds, err := hpnn.GenerateDataset(hpnn.DatasetConfig{
+		Name: "fashion", TrainN: 1, TestN: 4, H: 16, W: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := 16 * 16
+	sample := func(i int) *hpnn.Tensor {
+		return &hpnn.Tensor{Shape: []int{1, 16, 16}, Data: ds.TestX.Data[i*feat : (i+1)*feat]}
+	}
+	ask := func(model string, i int) int {
+		t.Helper()
+		if err := hpnn.EncodeServeRequestTo(conn, model, sample(i)); err != nil {
+			t.Fatal(err)
+		}
+		class, err := hpnn.DecodeServeResponse(conn)
+		if err != nil {
+			t.Fatalf("model %q sample %d: %v", model, i, err)
+		}
+		if class < 0 || class >= 10 {
+			t.Fatalf("model %q sample %d: class %d out of range", model, i, class)
+		}
+		return class
+	}
+	// v2 frames route per model; all three tenants answer on one connection.
+	for _, model := range []string{"alpha", "beta", "gamma"} {
+		for i := 0; i < 4; i++ {
+			ask(model, i)
+		}
+	}
+	// A v1 frame (no model ID) routes to the default tenant and must agree
+	// with an explicit v2 request to it.
+	if err := hpnn.EncodeServeRequest(conn, sample(0)); err != nil {
+		t.Fatal(err)
+	}
+	v1Class, err := hpnn.DecodeServeResponse(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ask("alpha", 0); got != v1Class {
+		t.Fatalf("v1 default routing answered %d, explicit alpha answered %d", v1Class, got)
+	}
+	// Unknown models fail in-band; the connection survives.
+	if err := hpnn.EncodeServeRequestTo(conn, "ghost", sample(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hpnn.DecodeServeResponse(conn); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown model answered with %v, want in-band unknown-model error", err)
+	}
+	ask("alpha", 1)
+
+	// Re-publish alpha with beta's weights: the watch loop must hot-swap it.
+	zoo("-publish", "alpha", "-model", filepath.Join(dir, "b.hpnn"))
+	swapped := false
+	for i := 0; i < 150; i++ {
+		if strings.Contains(output.String(), `hot-swapped model "alpha"`) {
+			swapped = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !swapped {
+		t.Fatalf("server never hot-swapped the re-published model\n%s", output.String())
+	}
+	ask("alpha", 2) // the swapped tenant keeps serving
+
+	// Drain and check the registry report.
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve did not exit on SIGINT\n%s", output.String())
+	}
+	got := output.String()
+	for _, want := range []string{
+		"serving 3 model(s)", "trusted device", "commodity accelerator",
+		"model alpha", "model beta", "model gamma",
+		"registry:", "1 hot-swaps", "locked outputs",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("zoo-serve report missing %q:\n%s", want, got)
+		}
 	}
 }

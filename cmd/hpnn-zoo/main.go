@@ -2,10 +2,18 @@
 // run it as a server to host published obfuscated models, or use the
 // client flags to publish, list and fetch models.
 //
+// Re-publishing an existing name bumps the entry's version (served as an
+// HTTP ETag), which a watching hpnn-serve -zoo process picks up and
+// hot-swaps with zero downtime — the owner's rollout path. -publish-ckpt
+// closes the loop from training: it takes an HPCK training checkpoint (the
+// owner's PRIVATE artifact), runs the lock scheme's publish transformation
+// under the owner's key, and uploads the resulting public blob.
+//
 // Example:
 //
 //	hpnn-zoo -serve -addr :8080
 //	hpnn-zoo -server http://localhost:8080 -publish fashion-cnn1 -model model.hpnn
+//	hpnn-zoo -server http://localhost:8080 -publish fashion-cnn1 -publish-ckpt train.ckpt -key-file key.hex
 //	hpnn-zoo -server http://localhost:8080 -list
 //	hpnn-zoo -server http://localhost:8080 -fetch fashion-cnn1 -out stolen.hpnn
 package main
@@ -15,6 +23,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"strings"
 
 	"hpnn"
 	"hpnn/internal/modelio"
@@ -23,15 +33,19 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		serve   = flag.Bool("serve", false, "run the model-zoo server")
-		addr    = flag.String("addr", ":8080", "server listen address")
-		server  = flag.String("server", "http://localhost:8080", "zoo server URL (client mode)")
-		publish = flag.String("publish", "", "publish the -model file under this name")
-		fetch   = flag.String("fetch", "", "download this model")
-		list    = flag.Bool("list", false, "list published models")
-		model   = flag.String("model", "model.hpnn", "model file to publish")
-		out     = flag.String("out", "fetched.hpnn", "output file for -fetch")
-		scheme  = flag.String("scheme", "", `"list" prints the lock-scheme registry`)
+		serve    = flag.Bool("serve", false, "run the model-zoo server")
+		addr     = flag.String("addr", ":8080", "server listen address")
+		server   = flag.String("server", "http://localhost:8080", "zoo server URL (client mode)")
+		publish  = flag.String("publish", "", "publish the -model file (or -publish-ckpt checkpoint) under this name")
+		ckptPath = flag.String("publish-ckpt", "", "publish from this HPCK training checkpoint instead of a model file")
+		keyHex   = flag.String("key", "", "owner key as hex (required by -publish-ckpt)")
+		keyFile  = flag.String("key-file", "", "read the owner key hex from this file")
+		schedSd  = flag.Uint64("sched-seed", 77, "private hardware-schedule seed (for -publish-ckpt)")
+		fetch    = flag.String("fetch", "", "download this model")
+		list     = flag.Bool("list", false, "list published models")
+		model    = flag.String("model", "model.hpnn", "model file to publish")
+		out      = flag.String("out", "fetched.hpnn", "output file for -fetch")
+		scheme   = flag.String("scheme", "", `"list" prints the lock-scheme registry`)
 	)
 	flag.Parse()
 
@@ -48,6 +62,13 @@ func main() {
 
 	client := modelio.NewClient(*server)
 	switch {
+	case *publish != "" && *ckptPath != "":
+		m := publishableFromCheckpoint(*ckptPath, *keyHex, *keyFile, *schedSd)
+		if err := client.Publish(*publish, m); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published checkpoint %s as %q (scheme %s, %d params; weights only, no key material)\n",
+			*ckptPath, *publish, hpnn.CanonicalLockScheme(m.Scheme), m.Net.ParamCount())
 	case *publish != "":
 		m, err := hpnn.LoadModelFile(*model)
 		if err != nil {
@@ -78,9 +99,48 @@ func main() {
 			return
 		}
 		for _, r := range recs {
-			fmt.Printf("%-30s %s\n", r.Name, r.Scheme)
+			fmt.Printf("%-30s %-12s v%d\n", r.Name, r.Scheme, r.Version)
 		}
 	default:
 		flag.Usage()
 	}
+}
+
+// publishableFromCheckpoint loads an HPCK checkpoint (the owner's private,
+// lock-bearing model) and runs its scheme's publish transformation under
+// the owner's key — the same step hpnn-train performs after training — so
+// the uploaded artifact carries obfuscated weights and no key material.
+func publishableFromCheckpoint(path, keyHex, keyFile string, schedSeed uint64) *hpnn.Model {
+	hexStr := keyHex
+	if keyFile != "" {
+		raw, err := os.ReadFile(keyFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hexStr = strings.TrimSpace(string(raw))
+	}
+	if hexStr == "" {
+		log.Fatal("-publish-ckpt requires the owner key (-key or -key-file): the publish transformation runs under it")
+	}
+	key, err := hpnn.KeyFromHex(hexStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, _, err := hpnn.LoadCheckpointFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheme, err := hpnn.LockSchemeByName(m.Scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub, err := m.Clone()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := hpnn.NewTrustedDevice("owner-publish", key)
+	if err := scheme.Publish(pub, dev, hpnn.NewSchedule(schedSeed)); err != nil {
+		log.Fatal(err)
+	}
+	return pub
 }

@@ -103,6 +103,32 @@ type (
 	ServeConfig = serve.Config
 	// ServeStats is a snapshot of serving counters and latency percentiles.
 	ServeStats = serve.Stats
+
+	// ModelRegistry is the multi-tenant serving layer: it routes requests
+	// by model ID to per-model tenants (lazily compiled+sealed serving
+	// stacks), holds residents LRU under a workspace-memory budget, and
+	// hot-swaps new versions with zero downtime via Deploy.
+	ModelRegistry = serve.Registry
+	// RegistryConfig tunes the multi-tenant registry: the per-tenant
+	// serving config, the workspace-memory budget, and default routing.
+	RegistryConfig = serve.RegistryConfig
+	// ServeTenantInfo reports one tenant's identity, residency and
+	// cumulative serving/hardware counters.
+	ServeTenantInfo = serve.TenantInfo
+	// ServeRegistryCounters snapshots registry-level activity: compiles,
+	// evictions, hot-swaps and swap-race reroutes.
+	ServeRegistryCounters = serve.RegistryCounters
+
+	// KeyRing is the serving layer's key-isolation boundary: one trusted
+	// device per served model, never shared across tenants.
+	KeyRing = keys.Ring
+
+	// ZooClient talks to an hpnn-zoo model-sharing server: publish, list,
+	// fetch, and ETag-conditional blob polls for hot-swap watch loops.
+	ZooClient = modelio.Client
+	// ZooRecord describes one published zoo entry (name, lock scheme,
+	// version).
+	ZooRecord = modelio.Record
 )
 
 // Serving execution engines, selected by ServeConfig.Engine.
@@ -249,10 +275,14 @@ func DefaultAcceleratorConfig() AcceleratorConfig { return tpu.DefaultConfig() }
 func HardwareOverhead(cfg AcceleratorConfig) GateReport { return tpu.Gates(cfg) }
 
 // Serving-layer errors: ErrServerOverloaded when the bounded request queue
-// sheds load, ErrServerClosed after shutdown has begun.
+// sheds load, ErrServerClosed after shutdown has begun, ErrServerRetry when
+// a request kept racing tenant hot-swaps (back off and resubmit).
+// ErrZooNotModified is the conditional-fetch "nothing changed" signal.
 var (
 	ErrServerOverloaded = serve.ErrOverloaded
 	ErrServerClosed     = serve.ErrClosed
+	ErrServerRetry      = serve.ErrRetry
+	ErrZooNotModified   = modelio.ErrNotModified
 )
 
 // NewInferenceServer starts a batched serving instance for one model:
@@ -265,13 +295,44 @@ func NewInferenceServer(m *Model, acfg AcceleratorConfig, dev *Device, sched *Sc
 	return serve.New(m, acfg, dev, sched, cfg)
 }
 
+// NewModelRegistry builds an empty multi-tenant serving registry: add
+// models with Register (serialized blob + per-model key device + private
+// schedule), serve with Predict/PredictBatch routing by model ID, roll new
+// versions with Deploy (zero-downtime hot-swap), stop with Close. Tenants
+// compile lazily and are evicted least-recently-used when resident
+// workspaces exceed the configured memory budget.
+func NewModelRegistry(acfg AcceleratorConfig, cfg RegistryConfig) *ModelRegistry {
+	return serve.NewRegistry(acfg, cfg)
+}
+
+// NewKeyRing returns an empty per-model device ring — the structure that
+// enforces one trusted device per served model.
+func NewKeyRing() *KeyRing { return keys.NewRing() }
+
+// NewZooClient returns a client for an hpnn-zoo server at base.
+func NewZooClient(base string) *ZooClient { return modelio.NewClient(base) }
+
 // Wire codec of the hpnn-serve TCP protocol (little-endian length-prefixed
 // frames), re-exported so clients can be written against the public API.
+// EncodeServeRequest writes a v1 frame (routes to the default model).
 func EncodeServeRequest(w io.Writer, x *Tensor) error { return serve.EncodeRequest(w, x) }
 
-// DecodeServeRequest reads one request frame; it validates shape, size and
-// value finiteness and never panics on malformed input.
+// EncodeServeRequestTo writes a v2 frame addressed to the named model; an
+// empty model routes to the server's default, like a v1 frame.
+func EncodeServeRequestTo(w io.Writer, model string, x *Tensor) error {
+	return serve.EncodeRequestTo(w, model, x)
+}
+
+// DecodeServeRequest reads one request frame of either protocol version;
+// it validates shape, size and value finiteness and never panics on
+// malformed input.
 func DecodeServeRequest(r io.Reader) (*Tensor, error) { return serve.DecodeRequest(r) }
+
+// DecodeServeRequestModel is DecodeServeRequest plus the model ID the
+// request routes to ("" means the default model).
+func DecodeServeRequestModel(r io.Reader) (*Tensor, string, error) {
+	return serve.DecodeRequestModel(r)
+}
 
 // EncodeServeResponse writes one response frame: a class or an error.
 func EncodeServeResponse(w io.Writer, class int, err error) error {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"hpnn/internal/rng"
 )
@@ -242,6 +243,81 @@ func (d *Device) Permutation(domain string, n int) []int {
 		return p
 	}
 	return d.derive(domain).Perm(n)
+}
+
+// Ring is the serving layer's key-isolation boundary: a registry of which
+// trusted device unlocks which served model. Its invariant is one device,
+// one model — a *Device bound to one tenant can never be bound to another,
+// so key material sealed for one model's license cannot leak into a
+// co-tenant's lowering, even when both run in the same process. The zero
+// Ring is not usable; create with NewRing.
+type Ring struct {
+	mu      sync.Mutex
+	byModel map[string]*Device
+	owner   map[*Device]string
+}
+
+// NewRing returns an empty device ring.
+func NewRing() *Ring {
+	return &Ring{byModel: make(map[string]*Device), owner: make(map[*Device]string)}
+}
+
+// Bind associates model with dev. A nil dev is a valid binding (commodity
+// serving, no key). Rebinding a model to the device it already holds is a
+// no-op; binding a device that serves another model, or a model that holds
+// another device, is an isolation violation and fails.
+func (r *Ring) Bind(model string, dev *Device) error {
+	if model == "" {
+		return fmt.Errorf("keys: ring binding requires a model name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.byModel[model]; ok && cur != dev {
+		return fmt.Errorf("keys: model %q is already bound to a different device", model)
+	}
+	if dev != nil {
+		if owner, ok := r.owner[dev]; ok && owner != model {
+			return fmt.Errorf("keys: device %q already serves model %q; keys never cross tenants",
+				dev.Serial(), owner)
+		}
+		r.owner[dev] = model
+	}
+	r.byModel[model] = dev
+	return nil
+}
+
+// Device returns the device bound to model, and whether a binding exists
+// (the bound device may be nil for commodity tenants).
+func (r *Ring) Device(model string) (*Device, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.byModel[model]
+	return d, ok
+}
+
+// Unbind releases model's binding, freeing its device for reuse.
+func (r *Ring) Unbind(model string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.byModel[model]; ok {
+		if d != nil {
+			delete(r.owner, d)
+		}
+		delete(r.byModel, model)
+	}
+}
+
+// Models lists the bound model names, sorted.
+func (r *Ring) Models() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.byModel))
+	//hpnn:allow(determinism) keys are collected then sorted below
+	for m := range r.byModel {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Authority is the owner-side licensing service of Fig. 1: it provisions

@@ -208,3 +208,63 @@ func TestAuthorityIssueRevoke(t *testing.T) {
 		t.Fatalf("Issued() = %v", got)
 	}
 }
+
+func TestRingOneDeviceOneModel(t *testing.T) {
+	r := rng.New(42)
+	devA := NewDevice("a", Generate(r))
+	devB := NewDevice("b", Generate(r))
+	ring := NewRing()
+
+	if err := ring.Bind("", devA); err == nil {
+		t.Fatal("empty model name bound")
+	}
+	if err := ring.Bind("alpha", devA); err != nil {
+		t.Fatal(err)
+	}
+	// Rebinding the same pair is a no-op; crossing either direction fails.
+	if err := ring.Bind("alpha", devA); err != nil {
+		t.Fatalf("idempotent rebind failed: %v", err)
+	}
+	if err := ring.Bind("beta", devA); err == nil {
+		t.Fatal("device bound to alpha accepted for beta — key material crossed tenants")
+	}
+	if err := ring.Bind("alpha", devB); err == nil {
+		t.Fatal("model alpha rebound to a different device")
+	}
+	if err := ring.Bind("beta", devB); err != nil {
+		t.Fatal(err)
+	}
+	// Nil devices (commodity tenants) bind freely and never conflict.
+	if err := ring.Bind("plain1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Bind("plain2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := ring.Device("alpha"); !ok || d != devA {
+		t.Fatal("bound device not returned")
+	}
+	if d, ok := ring.Device("plain1"); !ok || d != nil {
+		t.Fatal("commodity binding not returned as nil device")
+	}
+	if _, ok := ring.Device("ghost"); ok {
+		t.Fatal("unbound model reported a device")
+	}
+	models := ring.Models()
+	if len(models) != 4 {
+		t.Fatalf("ring lists %v, want 4 models", models)
+	}
+	for i := 1; i < len(models); i++ {
+		if models[i-1] >= models[i] {
+			t.Fatalf("ring listing not sorted: %v", models)
+		}
+	}
+	// Unbind releases the device for a new tenant.
+	ring.Unbind("alpha")
+	if _, ok := ring.Device("alpha"); ok {
+		t.Fatal("unbound model still bound")
+	}
+	if err := ring.Bind("gamma", devA); err != nil {
+		t.Fatalf("device not released on unbind: %v", err)
+	}
+}

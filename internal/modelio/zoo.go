@@ -19,23 +19,37 @@ import (
 // download them. Distribution is deliberately open — HPNN's security rests
 // on the hardware key, not on restricting access to the weights.
 type Zoo struct {
-	mu      sync.RWMutex
-	models  map[string][]byte
-	schemes map[string]string // per-record lock-scheme identifier (canonical)
+	mu       sync.RWMutex
+	models   map[string][]byte
+	schemes  map[string]string // per-record lock-scheme identifier (canonical)
+	versions map[string]uint64 // bumped on every Put; the ETag serving layer watch loops poll
 }
 
 // NewZoo returns an empty model zoo.
 func NewZoo() *Zoo {
-	return &Zoo{models: make(map[string][]byte), schemes: make(map[string]string)}
+	return &Zoo{
+		models:   make(map[string][]byte),
+		schemes:  make(map[string]string),
+		versions: make(map[string]uint64),
+	}
 }
 
-// Record describes one published zoo entry: its name and the lock scheme
-// the model was published under. Pre-scheme (format v1) blobs read as the
-// default HPNN XOR scheme.
+// Record describes one published zoo entry: its name, the lock scheme the
+// model was published under, and its version (bumped on every re-publish —
+// the hot-swap signal serving registries watch). Pre-scheme (format v1)
+// blobs read as the default HPNN XOR scheme.
 type Record struct {
-	Name   string `json:"name"`
-	Scheme string `json:"scheme"`
+	Name    string `json:"name"`
+	Scheme  string `json:"scheme"`
+	Version uint64 `json:"version"`
 }
+
+// ErrNotModified is returned by conditional fetches when the server's copy
+// still matches the caller's ETag — nothing to download, nothing to swap.
+var ErrNotModified = fmt.Errorf("modelio: model not modified")
+
+// etagFor renders a version as the HTTP ETag the zoo serves.
+func etagFor(version uint64) string { return fmt.Sprintf("\"v%d\"", version) }
 
 // SniffScheme reads just enough of a serialized model blob to report its
 // lock-scheme identifier (canonicalized). It rejects bad magic, unsupported
@@ -82,14 +96,27 @@ func (z *Zoo) Put(name string, blob []byte) {
 	defer z.mu.Unlock()
 	z.models[name] = append([]byte(nil), blob...)
 	z.schemes[name] = scheme
+	z.versions[name]++
 }
 
-// Get retrieves a serialized model.
+// Get retrieves a copy of a serialized model. The copy is defensive in both
+// directions: callers can mutate what they got, and a concurrent Put can
+// never change bytes a caller is still decoding.
 func (z *Zoo) Get(name string) ([]byte, bool) {
+	b, _, ok := z.GetVersion(name)
+	return b, ok
+}
+
+// GetVersion is Get plus the entry's current version — the pair the
+// conditional HTTP handler and watch loops are built on.
+func (z *Zoo) GetVersion(name string) ([]byte, uint64, bool) {
 	z.mu.RLock()
 	defer z.mu.RUnlock()
 	b, ok := z.models[name]
-	return b, ok
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), b...), z.versions[name], true
 }
 
 // Names lists the published model names, sorted.
@@ -113,7 +140,7 @@ func (z *Zoo) Records() []Record {
 	defer z.mu.RUnlock()
 	out := make([]Record, 0, len(names))
 	for _, n := range names {
-		out = append(out, Record{Name: n, Scheme: z.schemes[n]})
+		out = append(out, Record{Name: n, Scheme: z.schemes[n], Version: z.versions[n]})
 	}
 	return out
 }
@@ -151,9 +178,15 @@ func (z *Zoo) Handler() http.Handler {
 		}
 		switch r.Method {
 		case http.MethodGet:
-			blob, ok := z.Get(name)
+			blob, version, ok := z.GetVersion(name)
 			if !ok {
 				http.Error(w, "model not found", http.StatusNotFound)
+				return
+			}
+			etag := etagFor(version)
+			w.Header().Set("ETag", etag)
+			if r.Header.Get("If-None-Match") == etag {
+				w.WriteHeader(http.StatusNotModified)
 				return
 			}
 			w.Header().Set("Content-Type", "application/octet-stream")
@@ -205,6 +238,53 @@ func (c *Client) Publish(name string, m *core.Model) error {
 		return fmt.Errorf("modelio: publish failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
 	}
 	return nil
+}
+
+// PublishBlob uploads an already-serialized model blob under name. The
+// owner-side path for artifacts that exist as bytes (checkpoint exports,
+// files on disk) without a decode/re-encode round trip.
+func (c *Client) PublishBlob(name string, blob []byte) error {
+	resp, err := c.HTTP.Post(c.Base+"/models/"+name, "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("modelio: publish failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// FetchBlob downloads a published model's raw bytes along with the entry's
+// ETag. A non-empty etag makes the fetch conditional: when the server's
+// copy still matches, FetchBlob returns ErrNotModified and no bytes — the
+// cheap poll serving watch loops run between hot-swaps.
+func (c *Client) FetchBlob(name, etag string) ([]byte, string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/models/"+name, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, etag, ErrNotModified
+	case http.StatusOK:
+		blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+		if err != nil {
+			return nil, "", err
+		}
+		return blob, resp.Header.Get("ETag"), nil
+	default:
+		return nil, "", fmt.Errorf("modelio: fetch failed: %s", resp.Status)
+	}
 }
 
 // Fetch downloads and deserializes a published model (the end-user or

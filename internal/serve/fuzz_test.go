@@ -4,12 +4,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math"
+	"strings"
 	"testing"
 
 	"hpnn/internal/tensor"
 )
 
-// frameFor encodes x as a request frame for the seed corpus.
+// frameFor encodes x as a version-1 request frame for the seed corpus.
 func frameFor(f *testing.F, x *tensor.Tensor) []byte {
 	f.Helper()
 	var buf bytes.Buffer
@@ -19,12 +20,26 @@ func frameFor(f *testing.F, x *tensor.Tensor) []byte {
 	return buf.Bytes()
 }
 
+// frameForModel encodes x as a version-2 request frame addressed to model.
+func frameForModel(f *testing.F, model string, x *tensor.Tensor) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := EncodeRequestTo(&buf, model, x); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzDecodeRequest hardens the wire decoder against malformed input:
-// DecodeRequest must return an error or a valid tensor — never panic,
-// hang, or allocate beyond the frame cap — for arbitrary bytes off the
-// network. The seed corpus is a valid frame plus targeted mutations of
-// every validated field (length prefix, version, rank, dimensions,
-// payload size, value encoding).
+// DecodeRequestModel must return an error or a valid (tensor, model ID)
+// pair — never panic, hang, or allocate beyond the frame cap — for
+// arbitrary bytes off the network, across both protocol versions and
+// mixed-version streams. Input is decoded as a stream (frame after frame
+// until the bytes run out), matching how a serving connection consumes it.
+// The seed corpus is a valid frame per version plus targeted mutations of
+// every validated field: length prefix, version byte, model-ID length
+// (empty, maximal, truncated, overflowing), rank, dimensions, payload
+// size, value encoding.
 func FuzzDecodeRequest(f *testing.F) {
 	x := tensor.New(1, 4, 4)
 	for i := range x.Data {
@@ -36,6 +51,22 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(valid[:3])            // truncated length prefix
 	f.Add(valid[:len(valid)/2]) // truncated payload
+
+	// Version-2 seeds: typical, empty and maximal model IDs, and a
+	// mixed-version stream (v1, v2, v1) decoded frame after frame.
+	v2 := frameForModel(f, "fashion-cnn1", x)
+	f.Add(v2)
+	f.Add(frameForModel(f, "", x))
+	f.Add(frameForModel(f, strings.Repeat("m", MaxModelIDLen), x))
+	mixed := append(append(append([]byte(nil), valid...), v2...), valid...)
+	f.Add(mixed)
+
+	// v2 model-ID length edge cases: mlen pointing past the payload, and a
+	// frame truncated mid-ID.
+	lieID := append([]byte(nil), v2...)
+	lieID[5] = 255 // mlen claims 255 bytes; payload has 12
+	f.Add(lieID)
+	f.Add(v2[:4+2+6]) // cut inside the model-ID bytes
 
 	// Length prefix larger than the payload that follows.
 	lie := append([]byte(nil), valid...)
@@ -50,13 +81,16 @@ func FuzzDecodeRequest(f *testing.F) {
 	badVer := append([]byte(nil), valid...)
 	badVer[4] = 0xFF
 	f.Add(badVer)
-	// Rank 0 and rank beyond maxRank.
+	// Rank 0 and rank beyond maxRank, in both versions.
 	badRank := append([]byte(nil), valid...)
 	badRank[5] = 0
 	f.Add(badRank)
 	badRank2 := append([]byte(nil), valid...)
 	badRank2[5] = 200
 	f.Add(badRank2)
+	badRankV2 := append([]byte(nil), v2...)
+	badRankV2[4+2+12] = 200 // rank byte sits after the 12-byte model ID
+	f.Add(badRankV2)
 	// Zero dimension and overflow-bait dimensions.
 	zeroDim := append([]byte(nil), valid...)
 	binary.LittleEndian.PutUint32(zeroDim[6:], 0)
@@ -70,29 +104,47 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(nanVal)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		x, err := DecodeRequest(bytes.NewReader(data))
-		if err != nil {
-			return
-		}
-		if x == nil {
-			t.Fatal("DecodeRequest returned nil tensor without error")
-		}
-		if len(x.Shape) < 1 || len(x.Shape) > maxRank {
-			t.Fatalf("accepted tensor with rank %d", len(x.Shape))
-		}
-		if x.Len() > MaxFrameBytes/8 {
-			t.Fatalf("accepted tensor of %d elements beyond the frame cap", x.Len())
-		}
-		for i, v := range x.Data {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				t.Fatalf("accepted non-finite value %v at element %d", v, i)
+		r := bytes.NewReader(data)
+		for r.Len() > 0 {
+			x, model, err := DecodeRequestModel(r)
+			if err != nil {
+				return // one bad frame poisons the stream, like a real connection
 			}
-		}
-		// A decoded request must survive re-encoding: the accepted subset of
-		// the protocol round-trips.
-		var buf bytes.Buffer
-		if err := EncodeRequest(&buf, x); err != nil {
-			t.Fatalf("accepted request failed to re-encode: %v", err)
+			if x == nil {
+				t.Fatal("DecodeRequestModel returned nil tensor without error")
+			}
+			if len(model) > MaxModelIDLen {
+				t.Fatalf("accepted model ID of %d bytes beyond limit %d", len(model), MaxModelIDLen)
+			}
+			if len(x.Shape) < 1 || len(x.Shape) > maxRank {
+				t.Fatalf("accepted tensor with rank %d", len(x.Shape))
+			}
+			if x.Len() > MaxFrameBytes/8 {
+				t.Fatalf("accepted tensor of %d elements beyond the frame cap", x.Len())
+			}
+			for i, v := range x.Data {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted non-finite value %v at element %d", v, i)
+				}
+			}
+			// A decoded request must survive re-encoding with its model ID:
+			// the accepted subset of the protocol round-trips.
+			var buf bytes.Buffer
+			if err := EncodeRequestTo(&buf, model, x); err != nil {
+				t.Fatalf("accepted request failed to re-encode: %v", err)
+			}
+			rx, rmodel, err := DecodeRequestModel(&buf)
+			if err != nil {
+				t.Fatalf("re-encoded request failed to decode: %v", err)
+			}
+			if rmodel != model {
+				t.Fatalf("model ID %q re-decoded as %q", model, rmodel)
+			}
+			for i := range x.Data {
+				if rx.Data[i] != x.Data[i] {
+					t.Fatalf("element %d changed across re-encode: %v → %v", i, x.Data[i], rx.Data[i])
+				}
+			}
 		}
 	})
 }

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpnn/internal/core"
+	"hpnn/internal/lockscheme"
+	"hpnn/internal/rng"
+	"hpnn/internal/tpu"
+)
+
+// benchRegistryConfig sizes tenants like benchServer sizes a single server.
+func benchRegistryConfig() RegistryConfig {
+	return RegistryConfig{Tenant: Config{
+		Shards:     runtime.GOMAXPROCS(0),
+		MaxBatch:   8,
+		MaxWait:    200 * time.Microsecond,
+		QueueDepth: 1024,
+	}}
+}
+
+// BenchmarkRegistryMultiModel measures per-model throughput through a
+// multi-tenant registry hosting one warmed tenant per lock scheme — the
+// routed counterpart of BenchmarkServeThroughput. The gap to the
+// single-model number is the routing layer's cost.
+func BenchmarkRegistryMultiModel(b *testing.B) {
+	const batch = 8
+	reg := NewRegistry(tpu.DefaultConfig(), benchRegistryConfig())
+	defer reg.Close()
+	fixtures := make(map[string]*testFixture)
+	for si, schemeName := range lockscheme.Names() {
+		f := newSchemeFixture(b, schemeName, core.CNN1, 16, batch, 4000+uint64(si))
+		fixtures[schemeName] = f
+		if err := reg.Register(schemeName, blobFor(b, f.model), f.dev, f.sched); err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.Warm(schemeName); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	for _, schemeName := range lockscheme.Names() {
+		f := fixtures[schemeName]
+		b.Run("model="+schemeName, func(b *testing.B) {
+			if _, err := reg.PredictBatch(ctx, schemeName, f.x); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.PredictBatch(ctx, schemeName, f.x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
+}
+
+// BenchmarkRegistryColdCompile measures the lazy-residency cost an evicted
+// tenant pays on its next hit: blob decode, server build, compile, warmup,
+// seal. ns/op is the cold-start latency the LRU trades memory against.
+func BenchmarkRegistryColdCompile(b *testing.B) {
+	f := newSchemeFixture(b, lockscheme.DefaultName, core.CNN1, 16, 1, 4100)
+	reg := NewRegistry(tpu.DefaultConfig(), benchRegistryConfig())
+	defer reg.Close()
+	if err := reg.Register("m", blobFor(b, f.model), f.dev, f.sched); err != nil {
+		b.Fatal(err)
+	}
+	t, err := reg.tenant("m")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.Warm("m"); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		t.evict()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkRegistrySwapBlackout measures what a hot-swap costs the traffic
+// riding through it: loader goroutines stream single-sample requests while
+// every benchmark iteration Deploys the tenant's other version. ns/op is
+// the full Deploy (side compile + atomic flip + old-version drain);
+// blackout-ns is the worst single-request latency a loader observed across
+// all the swaps — how long any one request could stall on a flip; and
+// failed-req must stay 0: a hot-swap drops nothing (the acceptance bar).
+func BenchmarkRegistrySwapBlackout(b *testing.B) {
+	const n = 8
+	sf := newSwapFixture(b, n, 4200)
+	reg := NewRegistry(tpu.DefaultConfig(), benchRegistryConfig())
+	defer reg.Close()
+	if err := reg.Register("m", sf.blob1, sf.dev, sf.sched); err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Warm("m"); err != nil {
+		b.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var failed atomic.Uint64
+	var maxLatNS atomic.Int64
+	var wg sync.WaitGroup
+	loaders := runtime.GOMAXPROCS(0)
+	for g := 0; g < loaders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(5000 + g))
+			ctx := context.Background()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := int(r.Uint64() % n)
+				t0 := time.Now()
+				_, err := reg.Predict(ctx, "m", sf.sample(idx))
+				lat := time.Since(t0).Nanoseconds()
+				for {
+					cur := maxLatNS.Load()
+					if lat <= cur || maxLatNS.CompareAndSwap(cur, lat) {
+						break
+					}
+				}
+				if err != nil {
+					failed.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	blobs := [][]byte{sf.blob2, sf.blob1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.Deploy("m", blobs[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(maxLatNS.Load()), "blackout-ns")
+	b.ReportMetric(float64(failed.Load()), "failed-req")
+	if failed.Load() != 0 {
+		b.Fatalf("%d requests failed across %d hot-swaps, want 0", failed.Load(), b.N)
+	}
+}

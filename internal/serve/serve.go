@@ -50,6 +50,12 @@ var ErrOverloaded = errors.New("serve: server overloaded, request queue full")
 // ErrClosed is returned by Predict after Close has begun.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrRetry marks a transient routing failure in the multi-tenant registry —
+// a request that kept landing on tenants mid-swap or mid-eviction. Like
+// ErrOverloaded it travels as a retry-status response on the wire; clients
+// should back off and resubmit.
+var ErrRetry = errors.New("serve: tenant swapping, retry")
+
 // Execution engines selectable via Config.Engine.
 const (
 	// EngineBatched executes each coalesced micro-batch in one call on the
@@ -502,6 +508,18 @@ func (s *Server) Close() Stats {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return s.Stats()
+}
+
+// release drops the shards' compiled plans and activation workspaces,
+// returning their memory to the garbage collector. Only valid after Close
+// has drained the pipeline; the registry's eviction path (close + release)
+// is the only caller. A released server stays closed — tenants build a
+// fresh Server when they recompile.
+func (s *Server) release() {
+	for _, sh := range s.shards {
+		sh.acc.Release()
+		sh.batch, sh.preds, sh.live = nil, nil, nil
+	}
 }
 
 // HardwareStats sums the simulated-hardware activity counters across all

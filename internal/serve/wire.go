@@ -5,13 +5,24 @@ package serve
 // and hardened against malformed input (FuzzDecodeRequest): a decoder
 // must return an error, never panic or over-allocate, for arbitrary bytes.
 //
-//	frame    := len u32 | payload (len bytes, ≤ MaxFrameBytes)
-//	request  := version u8 | rank u8 | dim u32 × rank | value f64 × prod(dims)
-//	response := version u8 | status u8 | class u32            (status 0, ok)
-//	          | version u8 | status u8 | mlen u16 | msg bytes  (status 1, error)
+//	frame      := len u32 | payload (len bytes, ≤ MaxFrameBytes)
+//	request v1 := 1 u8 | rank u8 | dim u32 × rank | value f64 × prod(dims)
+//	request v2 := 2 u8 | mlen u8 | model bytes (mlen) | rank u8 | dim u32 × rank | value f64 × prod(dims)
+//	response   := version u8 | status u8 | class u32             (status 0, ok)
+//	            | version u8 | status u8 | mlen u16 | msg bytes  (status 1, error)
+//	            | version u8 | status u8 | mlen u16 | msg bytes  (status 2, retry)
+//
+// Version 2 adds multi-tenant routing: the model-ID string names the tenant
+// the sample is for. Version 1 frames remain valid and route to the
+// server's configured default model, so pre-registry clients keep working
+// unchanged. Status 2 (retry) marks transient failures — a shed request
+// (ErrOverloaded) or a routing race during a hot-swap (ErrRetry) — that the
+// client should back off and resubmit, as opposed to status 1 errors, which
+// are definitive.
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -20,16 +31,23 @@ import (
 )
 
 const (
-	// WireVersion is the protocol version byte on every payload.
+	// WireVersion is the original single-model protocol version.
 	WireVersion = 1
+	// WireVersion2 is the multi-tenant protocol version: request frames
+	// carry a model-ID string ahead of the sample.
+	WireVersion2 = 2
 	// MaxFrameBytes bounds a frame payload; larger length prefixes are
 	// rejected before any allocation.
 	MaxFrameBytes = 16 << 20
+	// MaxModelIDLen bounds the v2 model-ID string (its length travels in
+	// one byte).
+	MaxModelIDLen = 255
 	// maxRank bounds request tensor rank ([C,H,W] samples use 3).
 	maxRank = 4
 
-	statusOK  = 0
-	statusErr = 1
+	statusOK    = 0
+	statusErr   = 1
+	statusRetry = 2
 )
 
 func writeFrame(w io.Writer, payload []byte) error {
@@ -58,16 +76,41 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// EncodeRequest writes x as one request frame.
+// EncodeRequest writes x as one version-1 request frame (no model ID; the
+// server routes it to its default model).
 func EncodeRequest(w io.Writer, x *tensor.Tensor) error {
+	return encodeRequest(w, WireVersion, "", x)
+}
+
+// EncodeRequestTo writes x as one version-2 request frame addressed to the
+// named model. An empty model ID is valid and routes to the server's
+// default model, like a v1 frame.
+func EncodeRequestTo(w io.Writer, model string, x *tensor.Tensor) error {
+	return encodeRequest(w, WireVersion2, model, x)
+}
+
+func encodeRequest(w io.Writer, version byte, model string, x *tensor.Tensor) error {
 	rank := len(x.Shape)
 	if rank < 1 || rank > maxRank {
 		return fmt.Errorf("serve: request rank %d out of [1,%d]", rank, maxRank)
 	}
-	payload := make([]byte, 2+4*rank+8*x.Len())
-	payload[0] = WireVersion
-	payload[1] = byte(rank)
-	off := 2
+	if len(model) > MaxModelIDLen {
+		return fmt.Errorf("serve: model ID of %d bytes exceeds limit %d", len(model), MaxModelIDLen)
+	}
+	head := 2
+	if version == WireVersion2 {
+		head = 3 + len(model)
+	}
+	payload := make([]byte, head+4*rank+8*x.Len())
+	payload[0] = version
+	off := 1
+	if version == WireVersion2 {
+		payload[1] = byte(len(model))
+		copy(payload[2:], model)
+		off = 2 + len(model)
+	}
+	payload[off] = byte(rank)
+	off++
 	for _, d := range x.Shape {
 		binary.LittleEndian.PutUint32(payload[off:], uint32(d))
 		off += 4
@@ -79,45 +122,67 @@ func EncodeRequest(w io.Writer, x *tensor.Tensor) error {
 	return writeFrame(w, payload)
 }
 
-// DecodeRequest reads one request frame and returns the sample tensor. It
-// validates version, rank, dimensions and payload length before allocating
-// the tensor, and rejects non-finite values — junk the quantizer must never
-// see.
+// DecodeRequest reads one request frame (either version) and returns the
+// sample tensor, discarding any model ID. Kept for single-model callers;
+// routing servers use DecodeRequestModel.
 func DecodeRequest(r io.Reader) (*tensor.Tensor, error) {
+	x, _, err := DecodeRequestModel(r)
+	return x, err
+}
+
+// DecodeRequestModel reads one request frame of either protocol version and
+// returns the sample tensor plus the model ID the request routes to — ""
+// for v1 frames and v2 frames with an empty ID, meaning the default model.
+// It validates version, model-ID length, rank, dimensions and payload
+// length before allocating the tensor, and rejects non-finite values — junk
+// the quantizer must never see.
+func DecodeRequestModel(r io.Reader) (*tensor.Tensor, string, error) {
 	payload, err := readFrame(r)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if len(payload) < 2 {
-		return nil, fmt.Errorf("serve: request payload of %d bytes truncated", len(payload))
+		return nil, "", fmt.Errorf("serve: request payload of %d bytes truncated", len(payload))
 	}
-	if payload[0] != WireVersion {
-		return nil, fmt.Errorf("serve: request version %d, want %d", payload[0], WireVersion)
+	model := ""
+	off := 1
+	switch payload[0] {
+	case WireVersion:
+	case WireVersion2:
+		mlen := int(payload[1])
+		if len(payload) < 2+mlen+1 {
+			return nil, "", fmt.Errorf("serve: request payload truncated in model ID (%d of %d bytes)",
+				len(payload)-2, mlen)
+		}
+		model = string(payload[2 : 2+mlen])
+		off = 2 + mlen
+	default:
+		return nil, "", fmt.Errorf("serve: request version %d, want %d or %d", payload[0], WireVersion, WireVersion2)
 	}
-	rank := int(payload[1])
+	rank := int(payload[off])
+	off++
 	if rank < 1 || rank > maxRank {
-		return nil, fmt.Errorf("serve: request rank %d out of [1,%d]", rank, maxRank)
+		return nil, "", fmt.Errorf("serve: request rank %d out of [1,%d]", rank, maxRank)
 	}
-	if len(payload) < 2+4*rank {
-		return nil, fmt.Errorf("serve: request payload truncated in dimensions")
+	if len(payload) < off+4*rank {
+		return nil, "", fmt.Errorf("serve: request payload truncated in dimensions")
 	}
 	shape := make([]int, rank)
 	elems := 1
-	off := 2
 	for i := range shape {
 		d := binary.LittleEndian.Uint32(payload[off:])
 		off += 4
 		if d == 0 || d > MaxFrameBytes {
-			return nil, fmt.Errorf("serve: request dimension %d invalid", d)
+			return nil, "", fmt.Errorf("serve: request dimension %d invalid", d)
 		}
 		shape[i] = int(d)
 		elems *= int(d)
 		if elems > MaxFrameBytes/8 {
-			return nil, fmt.Errorf("serve: request of %d elements exceeds frame limit", elems)
+			return nil, "", fmt.Errorf("serve: request of %d elements exceeds frame limit", elems)
 		}
 	}
 	if len(payload) != off+8*elems {
-		return nil, fmt.Errorf("serve: request payload %d bytes, want %d for shape %v",
+		return nil, "", fmt.Errorf("serve: request payload %d bytes, want %d for shape %v",
 			len(payload), off+8*elems, shape)
 	}
 	x := tensor.New(shape...)
@@ -125,23 +190,29 @@ func DecodeRequest(r io.Reader) (*tensor.Tensor, error) {
 		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
 		off += 8
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("serve: non-finite value at element %d", i)
+			return nil, "", fmt.Errorf("serve: non-finite value at element %d", i)
 		}
 		x.Data[i] = v
 	}
-	return x, nil
+	return x, model, nil
 }
 
 // EncodeResponse writes one response frame: the predicted class, or the
-// error's message when err is non-nil.
+// error when err is non-nil. Transient conditions — a shed request
+// (ErrOverloaded) or a hot-swap routing race (ErrRetry) — encode as status
+// "retry" so clients know to back off and resubmit rather than fail.
 func EncodeResponse(w io.Writer, class int, err error) error {
 	if err != nil {
+		status := byte(statusErr)
+		if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrRetry) {
+			status = statusRetry
+		}
 		msg := err.Error()
 		if len(msg) > math.MaxUint16 {
 			msg = msg[:math.MaxUint16]
 		}
 		payload := make([]byte, 4+len(msg))
-		payload[0], payload[1] = WireVersion, statusErr
+		payload[0], payload[1] = WireVersion, status
 		binary.LittleEndian.PutUint16(payload[2:], uint16(len(msg)))
 		copy(payload[4:], msg)
 		return writeFrame(w, payload)
@@ -153,7 +224,9 @@ func EncodeResponse(w io.Writer, class int, err error) error {
 }
 
 // DecodeResponse reads one response frame, returning the predicted class or
-// the server-reported error.
+// the server-reported error. A retry-status response decodes to an error
+// wrapping ErrOverloaded, so clients test errors.Is(err, ErrOverloaded) and
+// back off.
 func DecodeResponse(r io.Reader) (int, error) {
 	payload, err := readFrame(r)
 	if err != nil {
@@ -171,13 +244,16 @@ func DecodeResponse(r io.Reader) (int, error) {
 			return -1, fmt.Errorf("serve: ok response payload %d bytes, want 6", len(payload))
 		}
 		return int(int32(binary.LittleEndian.Uint32(payload[2:]))), nil
-	case statusErr:
+	case statusErr, statusRetry:
 		if len(payload) < 4 {
 			return -1, fmt.Errorf("serve: error response truncated")
 		}
 		mlen := int(binary.LittleEndian.Uint16(payload[2:]))
 		if len(payload) != 4+mlen {
 			return -1, fmt.Errorf("serve: error response payload %d bytes, want %d", len(payload), 4+mlen)
+		}
+		if payload[1] == statusRetry {
+			return -1, fmt.Errorf("serve: remote: %s (back off and retry): %w", payload[4:], ErrOverloaded)
 		}
 		return -1, fmt.Errorf("serve: remote: %s", payload[4:])
 	default:

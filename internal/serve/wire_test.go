@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"hpnn/internal/tensor"
+)
+
+// TestWireV2RoundTrip pins the v2 frame: the model ID and the sample both
+// survive an encode/decode round trip, byte-exact.
+func TestWireV2RoundTrip(t *testing.T) {
+	x := tensor.New(1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(i)/8 - 1
+	}
+	for _, model := range []string{"", "m", "fashion-cnn1", strings.Repeat("x", MaxModelIDLen)} {
+		var buf bytes.Buffer
+		if err := EncodeRequestTo(&buf, model, x); err != nil {
+			t.Fatalf("model %q: %v", model, err)
+		}
+		got, gotModel, err := DecodeRequestModel(&buf)
+		if err != nil {
+			t.Fatalf("model %q: %v", model, err)
+		}
+		if gotModel != model {
+			t.Fatalf("model ID %q decoded as %q", model, gotModel)
+		}
+		if len(got.Shape) != len(x.Shape) {
+			t.Fatalf("rank %d, want %d", len(got.Shape), len(x.Shape))
+		}
+		for i := range x.Data {
+			if got.Data[i] != x.Data[i] {
+				t.Fatalf("model %q element %d: %v, want %v", model, i, got.Data[i], x.Data[i])
+			}
+		}
+	}
+}
+
+// TestWireV1RoutesDefault pins backward compatibility: a v1 frame decodes
+// through the routing decoder with an empty model ID — the default route.
+func TestWireV1RoutesDefault(t *testing.T) {
+	x := tensor.New(2, 2)
+	var buf bytes.Buffer
+	if err := EncodeRequest(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	_, model, err := DecodeRequestModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != "" {
+		t.Fatalf("v1 frame decoded with model ID %q, want \"\"", model)
+	}
+}
+
+// TestWireMixedVersionStream decodes an interleaved v1/v2 byte stream —
+// what a server sees when old and new clients share a connection pool —
+// and checks each frame routes independently.
+func TestWireMixedVersionStream(t *testing.T) {
+	x := tensor.New(1, 2, 2)
+	var buf bytes.Buffer
+	frames := []string{"", "alpha", "", "beta"}
+	for _, model := range frames {
+		var err error
+		if model == "" {
+			err = EncodeRequest(&buf, x)
+		} else {
+			err = EncodeRequestTo(&buf, model, x)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		_, model, err := DecodeRequestModel(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if model != want {
+			t.Fatalf("frame %d routed to %q, want %q", i, model, want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left over after decoding the stream", buf.Len())
+	}
+}
+
+// TestWireModelIDTooLong pins the encoder-side limit: a model ID that does
+// not fit the one-byte length field is rejected before any bytes go out.
+func TestWireModelIDTooLong(t *testing.T) {
+	x := tensor.New(1)
+	var buf bytes.Buffer
+	if err := EncodeRequestTo(&buf, strings.Repeat("x", MaxModelIDLen+1), x); err == nil {
+		t.Fatal("oversized model ID encoded")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("rejected encode wrote %d bytes", buf.Len())
+	}
+}
+
+// TestWireTruncatedModelID pins the decoder against a frame whose declared
+// model-ID length runs past the payload.
+func TestWireTruncatedModelID(t *testing.T) {
+	x := tensor.New(1, 2, 2)
+	var buf bytes.Buffer
+	if err := EncodeRequestTo(&buf, "ab", x); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5] = 200 // mlen now claims 200 bytes the payload does not have
+	if _, _, err := DecodeRequestModel(bytes.NewReader(raw)); err == nil {
+		t.Fatal("frame truncated inside the model ID accepted")
+	}
+}
+
+// TestWireRetryStatus pins the transient-failure path: overload and
+// swap-race errors encode as retry status, and clients decode them as
+// ErrOverloaded — the signal to back off and resubmit.
+func TestWireRetryStatus(t *testing.T) {
+	for _, cause := range []error{ErrOverloaded, ErrRetry} {
+		var buf bytes.Buffer
+		if err := EncodeResponse(&buf, -1, cause); err != nil {
+			t.Fatal(err)
+		}
+		_, err := DecodeResponse(&buf)
+		if err == nil {
+			t.Fatalf("retry response for %v decoded without error", cause)
+		}
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("retry response for %v decoded as %v, want ErrOverloaded", cause, err)
+		}
+	}
+	// Definitive errors stay definitive: no retry semantics attached.
+	var buf bytes.Buffer
+	if err := EncodeResponse(&buf, -1, errors.New("bad shape")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := DecodeResponse(&buf)
+	if err == nil || errors.Is(err, ErrOverloaded) {
+		t.Fatalf("definitive error decoded as %v", err)
+	}
+	// And the success path still round-trips.
+	buf.Reset()
+	if err := EncodeResponse(&buf, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	class, err := DecodeResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != 3 {
+		t.Fatalf("class %d, want 3", class)
+	}
+}

@@ -140,6 +140,21 @@ func (a *Accelerator) Seal() { a.ws.Seal() }
 // WorkspaceSealed reports whether Seal has frozen the workspace.
 func (a *Accelerator) WorkspaceSealed() bool { return a.ws.Sealed() }
 
+// Release drops every compiled plan and the activation workspace, returning
+// the device's memory (activation arenas, quantized weight caches, cloned
+// vector-unit layers) to the garbage collector and lifting any seal. It is
+// the eviction hook of the multi-tenant serving registry: a released device
+// is empty but fully reusable — the next Compile/Predict lowers from
+// scratch, exactly like a fresh accelerator. Not safe to call concurrently
+// with an inference on the same device.
+func (a *Accelerator) Release() {
+	//hpnn:allow(determinism) order-independent full clear (the compiler's map-clear idiom)
+	for m := range a.plans {
+		delete(a.plans, m)
+	}
+	a.ws.Reset()
+}
+
 // WorkspaceBytes reports the bytes held by the device's activation
 // workspace — the per-shard memory cost of the serving layer.
 func (a *Accelerator) WorkspaceBytes() int { return a.ws.Bytes() }

@@ -1,13 +1,19 @@
 #!/bin/sh
-# Serve-engine throughput tracker: runs the engine-comparison grid
-# (BenchmarkServeEngines in internal/serve) — batch-8 CNN1 traffic through
-# the golden per-sample engine vs the batched int8 engine, for every
-# registered lock scheme — and emits machine-readable
-# results/BENCH_serve.json with samples/sec per cell and a batched/golden
-# speedup ratio per scheme. The engines answer bitwise-identically (pinned
-# by the serve differential suite), so the ratio is pure cost: it measures
-# what folding the lock into the batched kernels buys. The acceptance bar
-# tracked in EXPERIMENTS.md is >=4x on the default scheme.
+# Serve throughput tracker, two grids into results/BENCH_serve.json:
+#
+#   1. Engine comparison (BenchmarkServeEngines): batch-8 CNN1 traffic
+#      through the golden per-sample engine vs the batched int8 engine, for
+#      every registered lock scheme. The engines answer bitwise-identically
+#      (pinned by the serve differential suite), so the batched/golden ratio
+#      is pure cost: what folding the lock into the batched kernels buys.
+#      The acceptance bar tracked in EXPERIMENTS.md is >=4x on the default
+#      scheme.
+#   2. Multi-tenant registry (BenchmarkRegistryMultiModel / ColdCompile /
+#      SwapBlackout): per-model throughput with one tenant per scheme
+#      behind the routing registry, the cold-compile latency an evicted
+#      tenant pays on its next hit, and the hot-swap numbers — Deploy
+#      latency, worst single-request stall across swaps (blackout), and
+#      the failed-request count, whose acceptance target is exactly 0.
 #
 # BENCHTIME=2s scripts/bench_serve.sh   # longer runs for stable numbers
 set -eu
@@ -18,10 +24,16 @@ out=results/BENCH_serve.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkServeEngines$' \
+go test -run '^$' \
+	-bench 'BenchmarkServeEngines$|BenchmarkRegistryMultiModel$|BenchmarkRegistryColdCompile$|BenchmarkRegistrySwapBlackout$' \
 	-benchtime "$benchtime" ./internal/serve/ | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
+function metric(name,    i) {
+	for (i = 2; i <= NF; i++)
+		if ($i == name) return $(i - 1)
+	return 0
+}
 /^BenchmarkServeEngines\// {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -29,11 +41,21 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
 	split(name, part, "/")
 	scheme = part[1]; sub(/^scheme=/, "", scheme)
 	engine = part[2]; sub(/^engine=/, "", engine)
-	sps = 0
-	for (i = 2; i <= NF; i++)
-		if ($i == "samples/sec") sps = $(i - 1)
-	rate[scheme "," engine] = sps
+	rate[scheme "," engine] = metric("samples/sec")
 	if (!(scheme in seen)) { seen[scheme] = 1; order[++n] = scheme }
+}
+/^BenchmarkRegistryMultiModel\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkRegistryMultiModel\/model=/, "", name)
+	mrate[name] = metric("samples/sec")
+	if (!(name in mseen)) { mseen[name] = 1; morder[++mn] = name }
+}
+/^BenchmarkRegistryColdCompile/ { cold_ns = $3 }
+/^BenchmarkRegistrySwapBlackout/ {
+	deploy_ns = $3
+	blackout_ns = metric("blackout-ns")
+	failed = metric("failed-req")
 }
 END {
 	printf "{\n"
@@ -54,6 +76,20 @@ END {
 		printf "    \"%s\": %.2f%s\n",
 			s, rate[s ",batched"] / rate[s ",golden"], (i < n ? "," : "")
 	}
+	printf "  },\n"
+	printf "  \"multi_tenant\": {\n"
+	printf "    \"samples_per_sec\": {\n"
+	for (i = 1; i <= mn; i++) {
+		s = morder[i]
+		printf "      \"%s\": %s%s\n", s, mrate[s], (i < mn ? "," : "")
+	}
+	printf "    },\n"
+	printf "    \"cold_compile_ns\": %s,\n", cold_ns
+	printf "    \"hot_swap\": {\n"
+	printf "      \"deploy_ns\": %s,\n", deploy_ns
+	printf "      \"blackout_ns\": %s,\n", blackout_ns
+	printf "      \"failed_requests\": %s\n", failed
+	printf "    }\n"
 	printf "  }\n}\n"
 }' "$tmp" >"$out"
 

@@ -21,6 +21,11 @@ go test -race -run 'TestServeConcurrentAccelerators|TestPredictSampleMatchesPred
 # cancellation) are scheduler-sensitive; repeat them to shake out
 # interleavings a single run can miss.
 go test -race -count=3 -run TestServe ./internal/serve/
+# Multi-tenant registry lifecycle (DESIGN.md §14): the cross-tenant hammer,
+# hot-swap zero-drop/bitwise-split, LRU eviction under a memory budget and
+# close-under-load are all swap/evict/route interleavings — repeat under
+# the race detector like the serve suite above.
+go test -race -count=3 -run TestRegistry ./internal/serve/
 # Trainer engine determinism: kill/resume must reproduce the uninterrupted
 # run bitwise (both optimizers, locked model), and the checkpoint codec
 # must round-trip exactly. By name, so the gate stays fast.
