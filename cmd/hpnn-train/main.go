@@ -44,6 +44,8 @@ func main() {
 		ckptPath = flag.String("checkpoint", "", "write a resumable training checkpoint here after every epoch (contains key material — keep private)")
 		resume   = flag.Bool("resume", false, "continue from -checkpoint if it exists; the resumed run reproduces the uninterrupted one bitwise")
 		schemeNm = flag.String("scheme", "", "lock scheme (empty = hpnn-xor; \"list\" prints the registry)")
+		replicas = flag.Int("replicas", 0, "data-parallel model replicas (0 = sequential loop; the run is bitwise identical for any replica count)")
+		shards   = flag.Int("grad-shards", 0, "gradient micro-shards per step (power of two ≥ -replicas; 0 = 8 when -replicas is set); fixes the numerics, so resumes must keep it")
 	)
 	flag.Parse()
 
@@ -106,6 +108,7 @@ func main() {
 	cfg := hpnn.TrainConfig{
 		Epochs: *epochs, BatchSize: *batch, LR: *lr, Momentum: *momentum, Seed: *seed + 3,
 		Optimizer: *optName, Schedule: *schedNm, WarmupEpochs: *warmup,
+		Replicas: *replicas, GradShards: *shards,
 		Logf: log.Printf,
 	}
 

@@ -45,7 +45,9 @@ func DefaultConfig() Config {
 		TimeAllowPkgs: []string{
 			"hpnn/internal/serve", "hpnn/internal/train", "hpnn/internal/cryptobase",
 		},
-		GoStmtAllowPkgs: []string{"hpnn/internal/tensor", "hpnn/internal/serve"},
+		GoStmtAllowPkgs: []string{
+			"hpnn/internal/tensor", "hpnn/internal/serve", "hpnn/internal/train",
+		},
 		ErrcheckPkgs: []string{
 			"hpnn/cmd/...", "hpnn/internal/modelio", "hpnn/internal/serve",
 			"hpnn/internal/lockscheme",

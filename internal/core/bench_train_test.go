@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// BenchmarkTrainStep measures one data-parallel training step at replica
+// counts K ∈ {1, 2, 4, 8} for the small CNN1 and the full-width ResNet-18.
+// The run drives the real Trainer (Epochs = b.N over a single-batch
+// dataset), so ns/op is a complete step: shard forward/backward across the
+// replicas, tree reduction, BN stat absorption, clipping and the optimizer
+// update. GradShards is pinned to 8 for every K, so all rows compute the
+// bitwise-identical model and the ratio between them is pure execution
+// scaling. scripts/bench_train.sh turns this into results/BENCH_train.json
+// with samples/sec and the runner's CPU count (single-core runners will
+// show no K-scaling — that is honest, not a regression).
+func BenchmarkTrainStep(b *testing.B) {
+	const batch = 32
+	cases := []struct {
+		name    string
+		arch    Arch
+		c, h, w int
+	}{
+		{"CNN1", CNN1, 1, 16, 16},
+		{"ResNet18", ResNet18, 3, 16, 16},
+	}
+	for _, tc := range cases {
+		for _, k := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/K%d", tc.name, k), func(b *testing.B) {
+				m := MustModel(Config{Arch: tc.arch, InC: tc.c, InH: tc.h, InW: tc.w, Classes: 10, Seed: 7})
+				x := tensor.New(batch, tc.c, tc.h, tc.w)
+				x.FillNorm(rng.New(1), 0, 1)
+				y := make([]int, batch)
+				for i := range y {
+					y[i] = i % 10
+				}
+				tr, err := NewTrainer(m, TrainConfig{
+					Epochs: b.N, BatchSize: batch, LR: 0.01, Momentum: 0.9, Seed: 3,
+					Replicas: k, GradShards: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				if _, err := tr.Run(x, y, nil); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -55,6 +55,16 @@ type TrainConfig struct {
 	// parameter gradients and returns the extra per-sample loss (the
 	// watermark embedding path).
 	GradAugment func() float64
+	// GradAugments is the generalized hook bus: every entry runs after
+	// GradAugment under the same contract (the trigger-set watermark path).
+	GradAugments []func() float64
+	// Replicas trains data-parallel with K model replicas; 0 keeps the
+	// sequential loop. The run is bitwise identical for any K (and resumes
+	// across K), because the numerics are fixed by GradShards alone.
+	Replicas int
+	// GradShards is the gradient micro-shard count for data-parallel runs
+	// (power of two, ≥ Replicas; 0 defaults to 8 when Replicas > 0).
+	GradShards int
 	// Resume restores trainer state captured by EpochInfo.Snapshot
 	// (typically round-tripped through a modelio checkpoint record); the
 	// run then continues the interrupted one bitwise. The model must
@@ -156,17 +166,20 @@ func NewTrainer(m *Model, cfg TrainConfig) (*train.Trainer, error) {
 		}
 	}
 	return train.New(m.Net, train.Config{
-		Epochs:      cfg.Epochs,
-		BatchSize:   cfg.BatchSize,
-		Optimizer:   cfg.Optimizer,
-		LR:          cfg.LR,
-		Momentum:    cfg.Momentum,
-		WeightDecay: cfg.WeightDecay,
-		Schedule:    sched,
-		ClipNorm:    cfg.ClipNorm,
-		Seed:        cfg.Seed,
-		Hooks:       hooks,
-		GradAugment: cfg.GradAugment,
+		Epochs:       cfg.Epochs,
+		BatchSize:    cfg.BatchSize,
+		Optimizer:    cfg.Optimizer,
+		LR:           cfg.LR,
+		Momentum:     cfg.Momentum,
+		WeightDecay:  cfg.WeightDecay,
+		Schedule:     sched,
+		ClipNorm:     cfg.ClipNorm,
+		Seed:         cfg.Seed,
+		Hooks:        hooks,
+		GradAugment:  cfg.GradAugment,
+		GradAugments: cfg.GradAugments,
+		Replicas:     cfg.Replicas,
+		GradShards:   cfg.GradShards,
 	})
 }
 

@@ -204,6 +204,19 @@ func Batches(x *tensor.Tensor, y []int, batchSize int, seed uint64) []Batch {
 	return out
 }
 
+// ShardRange returns the half-open row range [lo, hi) of micro-shard s when
+// a batch of n rows is split into shards contiguous pieces. The split is the
+// canonical balanced one — shard s owns rows [s·n/shards, (s+1)·n/shards)
+// with integer floor — so it is a pure function of (n, s, shards): the
+// decomposition never depends on how many replicas execute the shards.
+// Trailing shards of a short batch may be empty (lo == hi).
+func ShardRange(n, s, shards int) (lo, hi int) {
+	if shards <= 0 || s < 0 || s >= shards || n < 0 {
+		panic(fmt.Sprintf("dataset: ShardRange(n=%d, s=%d, shards=%d) out of range", n, s, shards))
+	}
+	return s * n / shards, (s + 1) * n / shards
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

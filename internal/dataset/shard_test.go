@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// TestShardRangePartition: for every (n, shards) combination the shard
+// ranges are contiguous, in order, and exactly partition [0, n) — no row is
+// duplicated or dropped, including short batches where trailing (or
+// interior) shards are empty.
+func TestShardRangePartition(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		for n := 0; n <= 3*shards+1; n++ {
+			prev := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := ShardRange(n, s, shards)
+				if lo != prev {
+					t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", n, shards, s, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d shards=%d: shard %d is negative [%d,%d)", n, shards, s, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d shards=%d: shards cover [0,%d), want [0,%d)", n, shards, prev, n)
+			}
+		}
+	}
+}
+
+// TestShardRangeBalance: no shard is more than one row larger than another
+// — the floor-based split is the balanced one.
+func TestShardRangeBalance(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		for n := 0; n <= 4*shards; n++ {
+			minSz, maxSz := n, 0
+			for s := 0; s < shards; s++ {
+				lo, hi := ShardRange(n, s, shards)
+				if sz := hi - lo; sz < minSz {
+					minSz = sz
+				} else if sz > maxSz {
+					maxSz = sz
+				}
+			}
+			if n >= shards && maxSz-minSz > 1 {
+				t.Fatalf("n=%d shards=%d: sizes differ by %d", n, shards, maxSz-minSz)
+			}
+		}
+	}
+}
+
+func TestShardRangeValidation(t *testing.T) {
+	for _, args := range [][3]int{{10, 0, 0}, {10, -1, 4}, {10, 4, 4}, {-1, 0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ShardRange(%d,%d,%d) did not panic", args[0], args[1], args[2])
+				}
+			}()
+			ShardRange(args[0], args[1], args[2])
+		}()
+	}
+}
+
+// TestShardEpochReproducible: sharding a shuffled epoch is bitwise
+// reproducible per (seed, epoch, shard count): every shard's rows and
+// labels are identical across regenerations, the shards of each batch
+// exactly partition it, and distinct epochs draw distinct permutations.
+func TestShardEpochReproducible(t *testing.T) {
+	r := rng.New(77)
+	n, feat := 53, 6
+	x := tensor.New(n, feat)
+	for i := range x.Data {
+		x.Data[i] = r.Norm()
+	}
+	y := make([]int, n)
+	for i := range y {
+		y[i] = r.Intn(10)
+	}
+
+	// epochShards flattens every (batch, shard) row range of an epoch into
+	// one bit pattern.
+	epochShards := func(seed uint64, epoch, shards int) []uint64 {
+		var out []uint64
+		for _, b := range Batches(x, y, 16, seed+uint64(epoch)) {
+			bn := len(b.Y)
+			covered := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := ShardRange(bn, s, shards)
+				covered += hi - lo
+				for _, v := range b.X.Data[lo*feat : hi*feat] {
+					out = append(out, math.Float64bits(v))
+				}
+				for _, label := range b.Y[lo:hi] {
+					out = append(out, uint64(label))
+				}
+			}
+			if covered != bn {
+				t.Fatalf("shards cover %d of %d rows", covered, bn)
+			}
+		}
+		return out
+	}
+
+	a := epochShards(9, 0, 8)
+	b := epochShards(9, 0, 8)
+	if len(a) != len(b) {
+		t.Fatalf("regeneration changed length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("epoch shards not reproducible at %d", i)
+		}
+	}
+	c := epochShards(9, 1, 8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("distinct epochs produced identical shard streams")
+	}
+}

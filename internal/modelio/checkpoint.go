@@ -31,6 +31,7 @@ import (
 //	str  optimizer kind ("sgd"/"adam"), u32 optimizer step counter
 //	u32  slot count; per slot: u32 vector count; per vector: u32 len + f64s
 //	u32  epoch-loss count + f64s; u32 test-acc count + f64s
+//	u32  gradient micro-shard count (version 3 only)
 
 // ckptMagic identifies serialized HPNN training checkpoints.
 var ckptMagic = [4]byte{'H', 'P', 'C', 'K'}
@@ -39,9 +40,17 @@ var ckptMagic = [4]byte{'H', 'P', 'C', 'K'}
 // default HPNN XOR scheme; version 2 inserts the lock-scheme identifier
 // right after the version word (mirroring the model format). Default-scheme
 // checkpoints keep writing version 1, preserving pre-scheme bytes exactly.
+// Version 3 records data-parallel runs: the scheme string is always present
+// (canonicalized, since the default scheme's stamp may be empty) and a
+// trailing u32 carries train.State.Shards — the micro-shard count that
+// fixes the run's numerics. The replica count is deliberately NOT recorded:
+// checkpoints are replica-count-invariant, so a run trained at K=4 resumes
+// bitwise at K=2. Sequential runs (Shards == 0) keep writing v1/v2 bytes
+// unchanged.
 const (
 	ckptVersion   uint32 = 1
 	ckptVersionV2 uint32 = 2
+	ckptVersionV3 uint32 = 3
 )
 
 // Defensive bounds for the decoder (fuzzed; see FuzzDecodeCheckpoint).
@@ -52,6 +61,7 @@ const (
 	maxEpochs      = 1 << 20
 	maxSlots       = 1 << 16
 	maxSlotVectors = 8
+	maxShards      = 1 << 16
 )
 
 // SaveCheckpoint writes a resumable training checkpoint for m with
@@ -64,11 +74,25 @@ func SaveCheckpoint(w io.Writer, m *core.Model, st train.State) error {
 	if !lockscheme.Valid(m.Scheme) {
 		return fmt.Errorf("modelio: model stamped with unknown lock scheme %q", m.Scheme)
 	}
-	if lockscheme.IsDefault(m.Scheme) {
+	switch {
+	case st.Shards != 0:
+		// v3 always carries the scheme string, canonicalized — a
+		// default-scheme model may be stamped "", which the scheme-bearing
+		// load path rejects.
+		if st.Shards < 0 || st.Shards > maxShards {
+			return fmt.Errorf("modelio: checkpoint shard count %d out of range", st.Shards)
+		}
+		if err := writeU32(bw, ckptVersionV3); err != nil {
+			return err
+		}
+		if err := writeString(bw, lockscheme.Canonical(m.Scheme)); err != nil {
+			return err
+		}
+	case lockscheme.IsDefault(m.Scheme):
 		if err := writeU32(bw, ckptVersion); err != nil {
 			return err
 		}
-	} else {
+	default:
 		if err := writeU32(bw, ckptVersionV2); err != nil {
 			return err
 		}
@@ -142,6 +166,11 @@ func SaveCheckpoint(w io.Writer, m *core.Model, st train.State) error {
 	if err := writeF64s(bw, st.TestAcc); err != nil {
 		return err
 	}
+	if st.Shards != 0 {
+		if err := writeU32(bw, uint32(st.Shards)); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
@@ -167,7 +196,7 @@ func LoadCheckpoint(r io.Reader) (*core.Model, train.State, error) {
 	scheme := "" // v1: implicit default scheme
 	switch ver {
 	case ckptVersion:
-	case ckptVersionV2:
+	case ckptVersionV2, ckptVersionV3:
 		if scheme, err = readString(br); err != nil {
 			return nil, st, err
 		}
@@ -291,6 +320,16 @@ func LoadCheckpoint(r io.Reader) (*core.Model, train.State, error) {
 	}
 	if len(st.EpochLoss) > maxEpochs || len(st.TestAcc) > maxEpochs {
 		return nil, st, fmt.Errorf("modelio: checkpoint trajectory exceeds epoch limit")
+	}
+	if ver == ckptVersionV3 {
+		shards, err := readU32(br)
+		if err != nil {
+			return nil, st, err
+		}
+		if shards == 0 || shards > maxShards {
+			return nil, st, fmt.Errorf("modelio: checkpoint shard count %d out of range", shards)
+		}
+		st.Shards = int(shards)
 	}
 	return model, st, nil
 }

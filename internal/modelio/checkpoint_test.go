@@ -120,6 +120,52 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCheckpointShardsRoundTrip: data-parallel runs (State.Shards != 0)
+// serialize as version 3 with the shard count preserved — even for a
+// default-scheme model, whose scheme stamp may be empty and must be
+// canonicalized into the v3 header. Sequential runs keep the pre-v3 bytes
+// and load with Shards == 0.
+func TestCheckpointShardsRoundTrip(t *testing.T) {
+	m := lockedCheckpointModel(t)
+	st := sampleState()
+	st.Shards = 8
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m, st); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 8 {
+		t.Fatalf("shard count %d after round trip, want 8", got.Shards)
+	}
+	if got.NextEpoch != st.NextEpoch || got.Seed != st.Seed || got.Schedule != st.Schedule {
+		t.Fatalf("v3 state header mismatch: %+v", got)
+	}
+
+	// Truncating the trailing shard word must be detected, not default.
+	data := buf.Bytes()
+	if _, _, err := LoadCheckpoint(bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Fatal("v3 checkpoint without shard word accepted")
+	}
+
+	// Sequential runs stay on the old versions and load with Shards == 0.
+	var seq bytes.Buffer
+	if err := SaveCheckpoint(&seq, m, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err = LoadCheckpoint(bytes.NewReader(seq.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 0 {
+		t.Fatalf("sequential checkpoint loads with %d shards, want 0", got.Shards)
+	}
+	if seq.Len() >= buf.Len() {
+		t.Fatal("sequential checkpoint did not use the compact pre-v3 layout")
+	}
+}
+
 func TestCheckpointFileAtomicity(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "run.ckpt")

@@ -22,14 +22,24 @@ func (s SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64,
 // grad (resized in place; allocated when nil) and returned. Training loops
 // keep one gradient buffer alive across steps, so the loss stage costs no
 // allocations after warmup.
-func (SoftmaxCrossEntropy) LossInto(grad *tensor.Tensor, logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+func (s SoftmaxCrossEntropy) LossInto(grad *tensor.Tensor, logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	return s.LossScaledInto(grad, logits, labels, 1/float64(logits.Shape[0]))
+}
+
+// LossScaledInto is LossInto with an explicit averaging factor instead of the
+// implied 1/batch: both the returned loss and the gradient are the per-row
+// sums multiplied by invN. The data-parallel trainer passes 1/fullBatch while
+// feeding micro-shards, so shard losses and gradients sum to exactly the
+// full-batch quantities; trigger-set watermark hooks pass λ/len(trigger).
+// LossInto delegates here with invN = 1/n, so the expressions below are the
+// single (bitwise-pinned) softmax-CE implementation.
+func (SoftmaxCrossEntropy) LossScaledInto(grad *tensor.Tensor, logits *tensor.Tensor, labels []int, invN float64) (float64, *tensor.Tensor) {
 	n, k := logits.Shape[0], logits.Shape[1]
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
 	}
 	grad = tensor.EnsureShape(grad, n, k)
 	total := 0.0
-	invN := 1 / float64(n)
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*k : (i+1)*k]
 		g := grad.Data[i*k : (i+1)*k]

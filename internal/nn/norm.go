@@ -24,6 +24,15 @@ type BatchNorm2D struct {
 	RunMean     *tensor.Tensor
 	RunVar      *tensor.Tensor
 
+	// StatsOut, when non-nil, redirects the batch statistics of a training
+	// forward into the provided buffer ([mean, var] pairs, length 2C)
+	// instead of folding them into RunMean/RunVar. The data-parallel
+	// trainer sets it on replica clones so shard statistics can be applied
+	// to the shared running stats serially, in canonical shard order, via
+	// AbsorbStats — and so concurrent clone forwards never write the
+	// master's running-stat tensors.
+	StatsOut []float64
+
 	// caches from the last training forward
 	lastXHat  *tensor.Tensor
 	lastStd   []float64
@@ -116,8 +125,29 @@ func bnTrainFwdWorker(ctx any, ch int) {
 			b.fy[base+p] = g*xh + be
 		}
 	}
+	if b.StatsOut != nil {
+		b.StatsOut[2*ch] = mean
+		b.StatsOut[2*ch+1] = variance
+		return
+	}
 	b.RunMean.Data[ch] = (1-b.Momentum)*b.RunMean.Data[ch] + b.Momentum*mean
 	b.RunVar.Data[ch] = (1-b.Momentum)*b.RunVar.Data[ch] + b.Momentum*variance
+}
+
+// AbsorbStats folds batch statistics captured through StatsOut ([mean, var]
+// pairs, length 2C) into the running statistics, using exactly the update
+// expression the non-redirected training forward applies. The replica driver
+// calls it once per micro-shard in shard order, so the running-stat
+// trajectory is a function of the shard decomposition, not of K.
+func (b *BatchNorm2D) AbsorbStats(stats []float64) {
+	if len(stats) != 2*b.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D(%d) AbsorbStats got %d values", b.C, len(stats)))
+	}
+	for ch := 0; ch < b.C; ch++ {
+		mean, variance := stats[2*ch], stats[2*ch+1]
+		b.RunMean.Data[ch] = (1-b.Momentum)*b.RunMean.Data[ch] + b.Momentum*mean
+		b.RunVar.Data[ch] = (1-b.Momentum)*b.RunVar.Data[ch] + b.Momentum*variance
+	}
 }
 
 func bnEvalFwdWorker(ctx any, ch int) {

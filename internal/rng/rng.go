@@ -66,6 +66,21 @@ func NewStream(seed, stream uint64) *Rand {
 	return r
 }
 
+// Reseed reinitializes r in place to exactly the state NewStream(seed,
+// stream) would produce, without allocating. The data-parallel trainer uses
+// it to point replica-owned generators (dropout masks) at a canonical
+// per-(step, shard) stream, making the drawn sequence a function of the
+// shard position rather than of which replica executed it.
+func (r *Rand) Reseed(seed, stream uint64) {
+	r.inc = (stream << 1) | 1
+	r.state = 0
+	r.Uint32()
+	r.state += seed
+	r.Uint32()
+	r.haveSpare = false
+	r.spare = 0
+}
+
 // Fork derives an independent child generator from the parent state and a
 // label. The parent's own sequence is not advanced, so forking is itself
 // deterministic: Fork(label) called at the same parent position always

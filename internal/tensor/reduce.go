@@ -1,0 +1,50 @@
+package tensor
+
+// Gradient-reduction kernels for the data-parallel trainer: elementwise
+// accumulation over large flat vectors. AddTo is the single merge primitive
+// of the replica tree reduction — every internal node of the fixed-shape
+// binary tree is one AddTo(left, right), so the summed gradient is a pure
+// function of the leaf partials and the tree shape, independent of how many
+// goroutines execute the leaves.
+
+// addToChunk is the fixed dispatch granularity. It is a constant — NOT a
+// function of the worker count — so the chunk decomposition (and therefore
+// the set of disjoint dst ranges) is identical for any MaxWorkers setting.
+// Each element is read and written exactly once, so the result is bitwise
+// deterministic regardless of which worker executes which chunk.
+const addToChunk = 8192
+
+// AddTo accumulates src into dst elementwise: dst[i] += src[i]. Large
+// vectors fan out on the worker pool over fixed-size disjoint chunks.
+//
+//hpnn:noalloc
+func AddTo(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("tensor: AddTo length mismatch")
+	}
+	n := len(dst)
+	if n <= addToChunk {
+		addToSerial(dst, src)
+		return
+	}
+	chunks := (n + addToChunk - 1) / addToChunk
+	args := KernelArgs{Dst: dst, A: src, N: n}
+	ParallelKernel(chunks, &args, addToWorker)
+}
+
+// addToWorker accumulates chunk i's disjoint range.
+func addToWorker(a *KernelArgs, i int) {
+	lo := i * addToChunk
+	hi := lo + addToChunk
+	if hi > a.N {
+		hi = a.N
+	}
+	addToSerial(a.Dst[lo:hi], a.A[lo:hi])
+}
+
+//hpnn:noalloc
+func addToSerial(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}

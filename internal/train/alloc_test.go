@@ -34,6 +34,33 @@ func TestStepZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestReplicaStepZeroAlloc extends the pin to the data-parallel path: the
+// persistent replica goroutines, flat gradient vectors, reduction stacks
+// and shard views are all preallocated, so a steady-state K-replica step
+// allocates nothing on any goroutine (AllocsPerRun counts globally).
+func TestReplicaStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented runtime allocates during the step")
+	}
+	x, y := blobData(13, 64)
+	tr, err := New(blobNet(13), Config{Epochs: 1, BatchSize: 16, LR: 0.05, Seed: 7, Replicas: 2, GradShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.eng.stop()
+	batches := dataset.Batches(x, y, 16, ShuffleSeed(7, 0))
+	b := batches[0]
+	for i := 0; i < 3; i++ {
+		tr.step(b, 0, i, 0.05)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		tr.step(b, 0, 0, 0.05)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state replica step allocates %.1f times per run, want 0", allocs)
+	}
+}
+
 // TestStepZeroAllocAdam extends the pin to the Adam path: its moment
 // slots are lazily allocated on first use and reused thereafter.
 func TestStepZeroAllocAdam(t *testing.T) {

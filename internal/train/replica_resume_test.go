@@ -1,0 +1,105 @@
+package train_test
+
+// Cross-replica kill/resume determinism: a data-parallel run killed
+// mid-training at K=4 and resumed from its checkpoint at K=2 must land on
+// the SAME final model, bitwise, as the uninterrupted K=1 run. The replica
+// count is execution width only; the checkpoint records the shard count
+// (which fixes the numerics) and nothing about K, so any power-of-two
+// divisor of GradShards may pick the run back up.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hpnn/internal/core"
+	"hpnn/internal/modelio"
+	"hpnn/internal/train"
+)
+
+func TestReplicaCrossKResume(t *testing.T) {
+	ds := resumeData(t)
+	cfg := resumeTrainCfg("sgd")
+	cfg.GradShards = 8
+	const killAfter = 3 // epochs completed before the "crash"
+
+	// Reference: the uninterrupted run at K=1.
+	cfg.Replicas = 1
+	straight := lockedModel(t)
+	wantRes, err := core.TrainChecked(straight, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run at K=4: checkpoint every epoch, kill after killAfter.
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	killed := lockedModel(t)
+	killCfg := cfg
+	killCfg.Replicas = 4
+	killCfg.Hooks.OnEpoch = func(info train.EpochInfo) bool {
+		if err := modelio.SaveCheckpointFile(ckpt, killed, info.Snapshot()); err != nil {
+			t.Fatalf("checkpoint write: %v", err)
+		}
+		return info.Epoch+1 < killAfter
+	}
+	if _, err := core.TrainChecked(killed, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, killCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume at K=2 from the file alone (weights + lock bits + state).
+	resumed, st, err := modelio.LoadCheckpointFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NextEpoch != killAfter {
+		t.Fatalf("checkpoint resumes at epoch %d, want %d", st.NextEpoch, killAfter)
+	}
+	if st.Shards != 8 {
+		t.Fatalf("checkpoint carries %d shards, want 8", st.Shards)
+	}
+	resumeCfg := cfg
+	resumeCfg.Replicas = 2
+	resumeCfg.Resume = &st
+	gotRes, err := core.TrainChecked(resumed, ds.TrainX, ds.TrainY, ds.TestX, ds.TestY, resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bitwise-identical weights against the K=1 reference.
+	want, got := modelBits(straight), modelBits(resumed)
+	if len(want) != len(got) {
+		t.Fatalf("parameter count mismatch: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("resumed weights diverge at scalar %d", i)
+		}
+	}
+	// Identical lock bits.
+	wantKey, gotKey := straight.KeyBits(), resumed.KeyBits()
+	for i := range wantKey {
+		if wantKey[i] != gotKey[i] {
+			t.Fatalf("lock bits diverge at neuron %d", i)
+		}
+	}
+	// Full trajectory (restored prefix + post-resume epochs) matches.
+	if !sameF64sBitwise(wantRes.TestAcc, gotRes.TestAcc) {
+		t.Fatalf("test-acc curves diverge:\nstraight %v\nresumed  %v", wantRes.TestAcc, gotRes.TestAcc)
+	}
+	if !sameF64sBitwise(wantRes.EpochLoss, gotRes.EpochLoss) {
+		t.Fatalf("loss curves diverge:\nstraight %v\nresumed  %v", wantRes.EpochLoss, gotRes.EpochLoss)
+	}
+
+	// A resume that changes the shard count — the numerics knob — must be
+	// rejected end-to-end, not drift.
+	wrongShards := cfg
+	wrongShards.Replicas = 2
+	wrongShards.GradShards = 4
+	back, st2, err := modelio.LoadCheckpointFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongShards.Resume = &st2
+	if _, err := core.TrainChecked(back, ds.TrainX, ds.TrainY, nil, nil, wrongShards); err == nil {
+		t.Fatal("resume with a different shard count accepted")
+	}
+}

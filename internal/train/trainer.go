@@ -60,6 +60,28 @@ type Config struct {
 	// returns the extra per-sample loss it contributed, which the Trainer
 	// folds into the reported step and epoch losses.
 	GradAugment func() float64
+	// GradAugments is the generalized hook bus: every entry runs after
+	// GradAugment at the same point in the step, under the same contract.
+	// In data-parallel runs the hooks execute on the master network after
+	// the reduced gradient has landed, so they compose with any replica
+	// count (the trigger-set watermark rides here).
+	GradAugments []func() float64
+
+	// Replicas selects data-parallel training with K model replicas; 0 (or
+	// unset) keeps the sequential step loop bitwise-unchanged. Replicas is
+	// purely an execution-width knob: for any K the run is bitwise
+	// identical, because the numerics are fixed by GradShards (see
+	// replica.go). Replicas must divide GradShards.
+	Replicas int
+	// GradShards is the number of micro-shards each step's batch is split
+	// into — the knob that fixes the gradient-reduction tree shape and
+	// therefore the numerics of a data-parallel run. It must be a power of
+	// two ≥ Replicas; 0 defaults to 8 when Replicas > 0. Setting
+	// GradShards > 0 with Replicas == 0 runs the replica engine with one
+	// replica (useful for pinning K-invariance in tests). Note GradShards
+	// = 1 reproduces the sequential loop's numerics exactly; GradShards >
+	// 1 changes gradient rounding (different but equally valid sums).
+	GradShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +99,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Schedule == nil {
 		c.Schedule = Constant{Base: c.LR}
+	}
+	if c.GradShards > 0 && c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas > 0 && c.GradShards == 0 {
+		c.GradShards = 8
 	}
 	return c
 }
@@ -146,6 +174,11 @@ type State struct {
 	Optimizer nn.OptState
 	EpochLoss []float64
 	TestAcc   []float64
+	// Shards records the gradient micro-shard count the run was produced
+	// with (0 for the sequential loop). The replica count is deliberately
+	// NOT recorded: a run trained at K=4 resumes bitwise at K=2, because
+	// only Shards fixes the numerics.
+	Shards int
 }
 
 // DataSizeError reports a sample/label count mismatch. It replaces the
@@ -182,17 +215,45 @@ type Trainer struct {
 	nextEpoch  int
 	globalStep int
 	res        Result
+
+	// eng is the data-parallel gradient engine, nil for the sequential
+	// loop (Replicas == 0 and GradShards == 0).
+	eng *replicaEngine
 }
 
-// New builds a Trainer for net. It validates the optimizer name; the
-// schedule defaults to a constant LR.
+// New builds a Trainer for net. It validates the optimizer name and the
+// replica/shard configuration; the schedule defaults to a constant LR.
 func New(net *nn.Network, cfg Config) (*Trainer, error) {
 	cfg = cfg.withDefaults()
 	opt, err := newOptimizer(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Trainer{net: net, cfg: cfg, opt: opt, params: net.Params()}, nil
+	t := &Trainer{net: net, cfg: cfg, opt: opt, params: net.Params()}
+	if cfg.Replicas < 0 || cfg.GradShards < 0 {
+		return nil, fmt.Errorf("train: negative replicas (%d) or grad shards (%d)", cfg.Replicas, cfg.GradShards)
+	}
+	if cfg.Replicas > 0 {
+		s := cfg.GradShards
+		if s&(s-1) != 0 {
+			return nil, fmt.Errorf("train: grad shards %d is not a power of two", s)
+		}
+		if cfg.Replicas > s || s%cfg.Replicas != 0 {
+			return nil, fmt.Errorf("train: %d replicas must divide %d grad shards (set GradShards explicitly for K > 8)", cfg.Replicas, s)
+		}
+		t.eng = newReplicaEngine(net, cfg)
+	}
+	return t, nil
+}
+
+// shardCount reports the effective micro-shard count: cfg.GradShards for
+// data-parallel runs, 0 for the sequential loop. It is what checkpoints
+// record and validate, since it alone fixes the run's numerics.
+func (t *Trainer) shardCount() int {
+	if t.eng == nil {
+		return 0
+	}
+	return t.cfg.GradShards
 }
 
 func newOptimizer(cfg Config) (nn.Optimizer, error) {
@@ -222,6 +283,7 @@ func (t *Trainer) Snapshot() State {
 		Optimizer: t.opt.ExportState(t.params),
 		EpochLoss: append([]float64(nil), t.res.EpochLoss...),
 		TestAcc:   append([]float64(nil), t.res.TestAcc...),
+		Shards:    t.shardCount(),
 	}
 }
 
@@ -239,6 +301,9 @@ func (t *Trainer) Restore(st State) error {
 	}
 	if st.Schedule != "" && st.Schedule != t.cfg.Schedule.String() {
 		return fmt.Errorf("train: checkpoint schedule %q does not match configured %q", st.Schedule, t.cfg.Schedule)
+	}
+	if st.Shards != t.shardCount() {
+		return fmt.Errorf("train: checkpoint used %d grad shards but trainer is configured for %d (the replica count may change freely, the shard count may not)", st.Shards, t.shardCount())
 	}
 	if err := t.opt.ImportState(t.params, st.Optimizer); err != nil {
 		return err
@@ -263,6 +328,9 @@ func (t *Trainer) Run(x *tensor.Tensor, y []int, eval func() float64) (Result, e
 	}
 	if x == nil || n != len(y) {
 		return t.res, &DataSizeError{Samples: n, Labels: len(y)}
+	}
+	if t.eng != nil {
+		defer t.eng.stop()
 	}
 	for epoch := t.nextEpoch; epoch < t.cfg.Epochs; epoch++ {
 		lr := t.cfg.Schedule.LR(epoch)
@@ -322,12 +390,21 @@ func (t *Trainer) step(b dataset.Batch, epoch, stepIdx int, lr float64) float64 
 	if timed {
 		begin = time.Now()
 	}
-	out := t.net.Forward(b.X, true)
-	l, g := t.loss.LossInto(t.gradBuf, out, b.Y)
-	t.gradBuf = g
-	t.net.Backward(g)
+	var l float64
+	if t.eng != nil {
+		l = t.eng.gradStep(b, t.globalStep)
+	} else {
+		out := t.net.Forward(b.X, true)
+		var g *tensor.Tensor
+		l, g = t.loss.LossInto(t.gradBuf, out, b.Y)
+		t.gradBuf = g
+		t.net.Backward(g)
+	}
 	if t.cfg.GradAugment != nil {
 		l += t.cfg.GradAugment()
+	}
+	for _, h := range t.cfg.GradAugments {
+		l += h()
 	}
 	if t.cfg.ClipNorm > 0 {
 		nn.ClipGradNorm(t.params, t.cfg.ClipNorm)

@@ -1,0 +1,168 @@
+package watermark
+
+// Blind-watermark trigger set, after "How to prove your model belongs to
+// you" (Li et al., 2019): instead of embedding a signature into a weight
+// tensor's distribution (the Uchida projection in watermark.go), the owner
+// trains the model to classify a small secret set of out-of-distribution
+// images — seeded noise carrying a class-keyed logo pattern — with labels
+// of the owner's choosing. Ownership is then proven black-box: query the
+// suspect model on the trigger set and check whether it answers with the
+// secret labels far above chance. No weight access is required, which is
+// exactly the capability the projection watermark lacks.
+//
+// The embedding side is a Config.GradAugments hook: after the task
+// gradient lands in the master parameters each step (sequential or
+// data-parallel — the hook runs serially on the master either way, so the
+// run stays bitwise identical for every replica count), one forward/
+// backward pass over the trigger batch adds λ·∂L_trigger/∂w on top.
+
+import (
+	"fmt"
+	"math"
+
+	"hpnn/internal/core"
+	"hpnn/internal/nn"
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// TriggerConfig describes a trigger-set watermark.
+type TriggerConfig struct {
+	// N is the trigger-set size (default 32).
+	N int
+	// Strength is the loss weight λ applied to the trigger batch each step
+	// (default 1).
+	Strength float64
+	// Seed derives the trigger images, their logo patterns and the secret
+	// label assignment.
+	Seed uint64
+	// Threshold is the trigger accuracy above which ownership is claimed
+	// (default 0.75; chance is 1/classes).
+	Threshold float64
+}
+
+func (c TriggerConfig) withDefaults() TriggerConfig {
+	if c.N == 0 {
+		c.N = 32
+	}
+	if c.Strength == 0 {
+		c.Strength = 1
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.75
+	}
+	return c
+}
+
+// TriggerSet is the owner's secret trigger material: the images, their
+// assigned labels, and the per-step embedding scratch.
+type TriggerSet struct {
+	cfg     TriggerConfig
+	x       *tensor.Tensor // [N, C, H, W]
+	y       []int
+	classes int
+	loss    nn.SoftmaxCrossEntropy
+	gradBuf *tensor.Tensor
+}
+
+// NewTriggerSet derives a trigger set shaped for the given model. Images
+// are unit-normal noise with a class-keyed logo stamped in: each class's
+// logo is a seeded set of pixel positions pushed to a strong fixed value,
+// so the trigger mapping is learnable but statistically invisible without
+// the seed.
+func NewTriggerSet(m *core.Model, cfg TriggerConfig) (*TriggerSet, error) {
+	cfg = cfg.withDefaults()
+	mc := m.Config
+	c, h, w, classes := mc.InC, mc.InH, mc.InW, mc.Classes
+	if cfg.N < classes {
+		return nil, fmt.Errorf("watermark: trigger set of %d cannot cover %d classes", cfg.N, classes)
+	}
+	r := rng.New(cfg.Seed)
+	x := tensor.New(cfg.N, c, h, w)
+	x.FillNorm(r, 0, 1)
+	// Per-class logo: 1/4 of the pixels of one channel, at seeded
+	// positions, saturated to ±3. All triggers of a class share the logo.
+	logoN := h * w / 4
+	if logoN < 1 {
+		logoN = 1
+	}
+	logos := make([][]int, classes)
+	signs := make([][]float64, classes)
+	for cl := range logos {
+		logos[cl] = make([]int, logoN)
+		signs[cl] = make([]float64, logoN)
+		for i := range logos[cl] {
+			logos[cl][i] = r.Intn(c * h * w)
+			signs[cl][i] = 3 - 6*float64(r.Intn(2))
+		}
+	}
+	y := make([]int, cfg.N)
+	img := c * h * w
+	for i := range y {
+		// Round-robin base so every class is covered, shuffled by seed.
+		y[i] = i % classes
+	}
+	r.Shuffle(y)
+	for i, label := range y {
+		base := i * img
+		for j, pos := range logos[label] {
+			x.Data[base+pos] = signs[label][j]
+		}
+	}
+	return &TriggerSet{cfg: cfg, x: x, y: y, classes: classes}, nil
+}
+
+// Labels returns a copy of the secret trigger labels.
+func (ts *TriggerSet) Labels() []int { return append([]int(nil), ts.y...) }
+
+// Hook returns a Config.GradAugments entry that embeds the trigger set
+// into m during training: one scaled forward/backward over the trigger
+// batch per step, accumulated on top of the task gradient. The returned
+// value is the λ-scaled trigger loss added to the step's reported loss.
+func (ts *TriggerSet) Hook(m *core.Model) func() float64 {
+	net := m.Net
+	return func() float64 {
+		out := net.Forward(ts.x, true)
+		l, g := ts.loss.LossScaledInto(ts.gradBuf, out, ts.y, ts.cfg.Strength/float64(len(ts.y)))
+		ts.gradBuf = g
+		net.Backward(g)
+		return l
+	}
+}
+
+// Accuracy measures how often the model answers the trigger queries with
+// the secret labels — the black-box ownership statistic.
+func (ts *TriggerSet) Accuracy(m *core.Model) float64 {
+	preds := m.Predict(ts.x, len(ts.y))
+	hits := 0
+	for i, p := range preds {
+		if p == ts.y[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(ts.y))
+}
+
+// Detected reports ownership when the trigger accuracy clears the
+// configured threshold, and returns the accuracy and the chance rate for
+// context.
+func (ts *TriggerSet) Detected(m *core.Model) (bool, float64, float64) {
+	acc := ts.Accuracy(m)
+	chance := 1 / float64(ts.classes)
+	return acc >= ts.cfg.Threshold && acc > 2*chance, acc, chance
+}
+
+// PValue is a crude binomial tail bound P[X ≥ acc·n] for X ~ Bin(n,
+// 1/classes): the probability a non-watermarked model matches the secret
+// labels this well by luck (Chernoff bound — loose but monotone, good
+// enough for a claim report).
+func (ts *TriggerSet) PValue(acc float64) float64 {
+	p := 1 / float64(ts.classes)
+	if acc <= p {
+		return 1
+	}
+	n := float64(len(ts.y))
+	// KL(acc || p) Chernoff exponent.
+	kl := acc*math.Log(acc/p) + (1-acc)*math.Log((1-acc)/(1-p))
+	return math.Exp(-n * kl)
+}

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Data-parallel training scaling tracker: runs the K-replica train-step
+# macro-benchmark (internal/core, CNN1 + full-width ResNet-18 at
+# K ∈ {1,2,4,8}) and emits machine-readable results/BENCH_train.json with
+# ns/op, samples/sec and the speedup over K=1 per case. The file records
+# the runner's CPU count because the speedup column is only meaningful
+# when there are cores to scale across — a single-core runner honestly
+# reports ~1.0x for every K.
+#
+# BENCHTIME=2s scripts/bench_train.sh   # longer runs for stable numbers
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1s}"
+out=results/BENCH_train.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+go test -run '^$' -bench 'BenchmarkTrainStep$' \
+	-benchtime "$benchtime" ./internal/core/ | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v cpus="$cpus" -v batch=32 '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkTrainStep\//, "", name)
+	ns[name] = $3
+	order[++n] = name
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"benchtime\": \"%s\",\n", "'"$benchtime"'"
+	printf "  \"cpus\": %d,\n", cpus
+	printf "  \"batch\": %d,\n", batch
+	printf "  \"ns_per_step\": {\n"
+	for (i = 1; i <= n; i++)
+		printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n ? "," : "")
+	printf "  },\n"
+	printf "  \"samples_per_sec\": {\n"
+	for (i = 1; i <= n; i++)
+		printf "    \"%s\": %.1f%s\n", order[i], batch * 1e9 / ns[order[i]], (i < n ? "," : "")
+	printf "  },\n"
+	printf "  \"speedup_over_k1\": {\n"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		ref = name
+		sub(/\/K[0-9]+$/, "/K1", ref)
+		printf "    \"%s\": %.2f%s\n", name, ns[ref] / ns[name], (i < n ? "," : "")
+	}
+	printf "  }\n}\n"
+}' "$tmp" >"$out"
+
+echo "wrote $out"

@@ -31,6 +31,15 @@ go test -race -count=3 -run TestRegistry ./internal/serve/
 # must round-trip exactly. By name, so the gate stays fast.
 go test -race -run 'TestBitwiseResume|TestResumeValidation|TestTrainerMatchesInlineLoop' ./internal/train/
 go test -race -run 'TestCheckpoint' ./internal/modelio/
+# Data-parallel trainer (DESIGN.md §15): K-replica runs must be bitwise
+# identical for every replica count and worker-pool width, match the
+# sequential loop at one shard, and survive a kill at K=4 resumed at K=2
+# bitwise-equal to the uninterrupted run. The replica goroutines are the
+# trainer's only concurrency, so these run under the race detector.
+go test -race -run 'TestReplica' ./internal/train/
+# Micro-shard decomposition properties: exact in-order partitions,
+# bitwise-reproducible shard streams per (seed, epoch, shard count).
+go test -race -run 'TestShard' ./internal/dataset/
 # Packed GEMM engine invariants under the race detector: worker-count
 # independence (bitwise) and the zero-alloc steady-state pin for the
 # pooled packing scratch. By name, so the gate stays fast. TestInt8GEMM
