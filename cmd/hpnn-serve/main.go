@@ -84,6 +84,11 @@ func main() {
 		}
 		sharedHex = strings.TrimSpace(string(raw))
 	}
+	// provisioned collects every device this process creates so shutdown
+	// can zeroize the sealed keys. Appends happen from main and from the
+	// zoo watcher goroutine; the read below is ordered after watch.Wait(),
+	// so no lock is needed.
+	var provisioned []*hpnn.Device
 	// deviceFor provisions one tenant's trusted device: its own key file
 	// under -keys-dir when present, else the shared key, else nil
 	// (commodity). Every tenant gets a distinct device — the registry's key
@@ -107,7 +112,9 @@ func main() {
 		if err != nil {
 			return nil, fmt.Errorf("key for %q: %w", model, err)
 		}
-		return hpnn.NewTrustedDevice("serve/"+model, key), nil
+		dev := hpnn.NewTrustedDevice("serve/"+model, key)
+		provisioned = append(provisioned, dev)
+		return dev, nil
 	}
 
 	acfg := hpnn.DefaultAcceleratorConfig()
@@ -233,6 +240,16 @@ func main() {
 	fmt.Printf("registry: %d compiles, %d evictions, %d hot-swaps, %d reroutes\n",
 		c.Compiles, c.Evictions, c.Swaps, c.Reroutes)
 	fmt.Printf("drained in %v\n", time.Since(start).Round(time.Millisecond)) //hpnn:allow(determinism) shutdown report
+	// The sealed keys were only ever consulted while compiling and running
+	// plans; with the registry drained, wipe every self-provisioned device
+	// so no key byte outlives its tenant in process memory (the registry's
+	// Release path has already zeroed the accelerators' derived sign masks).
+	for _, d := range provisioned {
+		d.Zeroize()
+	}
+	if len(provisioned) > 0 {
+		fmt.Printf("zeroized %d tenant device(s)\n", len(provisioned))
+	}
 	// Connections blocked reading the next request die with the process;
 	// every accepted request has already been answered by Close's drain.
 }

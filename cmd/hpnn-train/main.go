@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
 	"hpnn"
 	"hpnn/internal/core"
@@ -180,11 +179,14 @@ func main() {
 	}
 	fmt.Printf("obfuscated model written to %s (scheme %s)\n", *out, scheme.Name())
 	if *keyOut != "" {
+		// The one place the raw key legitimately leaves the process: the
+		// owner asked for it with -key-out, written 0600.
+		//hpnn:keyok(owner-requested key escrow via -key-out, mode 0600)
 		if err := os.WriteFile(*keyOut, []byte(key.Hex()+"\n"), 0o600); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("secret key written to %s (keep private; schedule seed %d also required)\n", *keyOut, *schedSd)
 	} else {
-		fmt.Printf("secret key: %s…%s (use -key-out to save it)\n", key.Hex()[:8], strings.Repeat("*", 8))
+		fmt.Printf("secret key fp=%s (not printed; use -key-out to save it)\n", key.Fingerprint())
 	}
 }

@@ -31,6 +31,17 @@ type Config struct {
 	// NoAllocSuffixes name function-name suffixes that imply the
 	// zero-allocation contract, in addition to //hpnn:noalloc annotations.
 	NoAllocSuffixes []string
+	// KeyflowSources name the key-material origins the keyflow taint
+	// analysis seeds from, as "pkg:Func", "pkg:Type.Method", or
+	// "pkg:Type.Field" patterns.
+	KeyflowSources []string
+	// KeyflowSinks name module functions that put bytes on an external
+	// boundary (the serve wire encoders); the stdlib output boundaries
+	// (fmt, log, errors.New, os, io, bufio, net) are always sinks.
+	KeyflowSinks []string
+	// KeyflowSanitizers name the deliberate choke points whose results and
+	// effects are considered safe: calls through them cut the taint edge.
+	KeyflowSanitizers []string
 }
 
 // DefaultConfig returns the repo's invariant configuration.
@@ -53,6 +64,39 @@ func DefaultConfig() Config {
 			"hpnn/internal/lockscheme",
 		},
 		NoAllocSuffixes: []string{"Into", "SliceInto"},
+		KeyflowSources: []string{
+			// Raw key accessors on the 256-bit model key.
+			"hpnn/internal/keys:Key.Bytes",
+			"hpnn/internal/keys:Key.Hex",
+			"hpnn/internal/keys:Key.Bit",
+			// Key-device secrets: derived streams, the PUF-style
+			// permutation, and per-column lock bits.
+			"hpnn/internal/keys:Device.MaskStream",
+			"hpnn/internal/keys:Device.Permutation",
+			"hpnn/internal/keys:Device.BitsForColumns",
+			"hpnn/internal/keys:Device.ColumnBit",
+			// HPCK lock state: factors, engagement flag, recovered bits.
+			"hpnn/internal/nn:Lock.Factors",
+			"hpnn/internal/nn:Lock.Engaged",
+			"hpnn/internal/nn:Lock.Bits",
+			"hpnn/internal/core:Model.KeyBits",
+		},
+		KeyflowSinks: []string{
+			"hpnn/internal/serve:writeFrame",
+			"hpnn/internal/serve:encodeRequest",
+			"hpnn/internal/serve:EncodeRequest",
+			"hpnn/internal/serve:EncodeRequestTo",
+			"hpnn/internal/serve:EncodeResponse",
+		},
+		KeyflowSanitizers: []string{
+			// Publish is the owner-sanctioned release point of a scheme's
+			// public artifact; the contract suite checks it scrubs key bits.
+			"hpnn/internal/lockscheme:Scheme.Publish",
+			// The checkpoint encryption path: ciphertext is safe to emit.
+			"hpnn/internal/cryptobase:EncryptParams",
+			// One-way key-identity digest (Mix64 chain), safe to log.
+			"hpnn/internal/keys:Device.Fingerprint",
+		},
 	}
 }
 
@@ -100,6 +144,7 @@ func Checks() []Check {
 		{Name: "gofunc", Doc: "raw go statements only in the tensor worker pool and the serving layer", Run: runGoFunc},
 		{Name: "errcheck", Doc: "no silently discarded error returns in cmd/*, modelio, and serve", Run: runErrcheck},
 		{Name: "seal", Doc: "no Workspace getter calls lexically after Seal() on the same receiver", Run: runSeal},
+		{Name: "keyflow", Doc: "interprocedural taint: key material (device secrets, lock bits, factors) must not reach fmt/log verbs, error construction, wire encoders, or file/net writes except through sanctioned choke points", Run: runKeyflow},
 	}
 }
 

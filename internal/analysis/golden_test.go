@@ -142,6 +142,18 @@ func TestSelfLint(t *testing.T) {
 	if prog.Module != "hpnn" {
 		t.Fatalf("module path = %q, want hpnn", prog.Module)
 	}
+	// The confidentiality check must be part of the default gate, not an
+	// opt-in: a clean self-lint here means clean including keyflow.
+	names := CheckNames()
+	found := false
+	for _, n := range names {
+		if n == "keyflow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("keyflow missing from the default check registry: %v", names)
+	}
 	diags, err := Lint(prog)
 	if err != nil {
 		t.Fatalf("linting module: %v", err)

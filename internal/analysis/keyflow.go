@@ -1,0 +1,23 @@
+package analysis
+
+import (
+	"go/token"
+)
+
+// keyflow: the confidentiality invariant, machine-checked. The paper's
+// security argument assumes key material — device secrets, PUF-style
+// permutations, lock bits, multiplicative factors — never leaves the
+// process except through the sanctioned choke points (scheme publication,
+// checkpoint encryption, explicitly annotated owner-side writes). This
+// check runs the interprocedural taint engine (taint.go) over the shared
+// callgraph (callgraph.go) and reports every source→sink flow that is not
+// cut by a sanitizer or a `//hpnn:keyok(reason)` annotation.
+func runKeyflow(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	eng, err := newTaintEngine(prog, report)
+	if err != nil {
+		report(token.NoPos, "%v", err)
+		return
+	}
+	eng.reportBadKeyok()
+	eng.run()
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func keyflowFixtureConfig(c *Config) {
+	c.KeyflowSources = []string{
+		"keyflowdata:Vault.Secret",
+		"keyflowdata:Vault.Bits",
+	}
+	c.KeyflowSinks = []string{"keyflowdata:send"}
+	c.KeyflowSanitizers = []string{"keyflowdata:Scrub"}
+}
+
+func TestKeyflowGolden(t *testing.T) {
+	runGolden(t, "keyflowdata", keyflowFixtureConfig, "keyflow")
+}
+
+// TestKeyflowSanitizerRemoved proves the sanitizer cut carries the golden
+// fixture: with Scrub deconfigured, the Sanitized function's fmt verb —
+// silent in the golden run — must fire.
+func TestKeyflowSanitizerRemoved(t *testing.T) {
+	load := func(mutate func(*Config)) []Diagnostic {
+		prog, err := Load(filepath.Join("testdata", "src", "keyflowdata"))
+		if err != nil {
+			t.Fatalf("loading fixture: %v", err)
+		}
+		mutate(&prog.Config)
+		diags, err := Lint(prog, "keyflow")
+		if err != nil {
+			t.Fatalf("linting fixture: %v", err)
+		}
+		return diags
+	}
+	withSan := load(keyflowFixtureConfig)
+	withoutSan := load(func(c *Config) {
+		keyflowFixtureConfig(c)
+		c.KeyflowSanitizers = nil
+	})
+	if len(withoutSan) <= len(withSan) {
+		t.Fatalf("removing the sanitizer found %d diagnostics, sanitized run found %d — the cut is not load-bearing",
+			len(withoutSan), len(withSan))
+	}
+	have := make(map[string]bool, len(withSan))
+	for _, d := range withSan {
+		have[d.String()] = true
+	}
+	for _, d := range withoutSan {
+		if have[d.String()] {
+			continue
+		}
+		if !strings.Contains(d.Message, "reaches fmt.Printf") {
+			t.Errorf("unexpected extra diagnostic after removing sanitizer: %s", d)
+		}
+	}
+}
+
+// TestKeyflowKeyokReason: an empty-reason keyok cuts the edge (no flow
+// diagnostic on the annotated write) but is itself reported.
+func TestKeyflowKeyokReason(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "src", "keyflowbaddata"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	prog.Config.KeyflowSources = []string{"keyflowbaddata:Vault.Secret"}
+	diags, err := Lint(prog, "keyflow")
+	if err != nil {
+		t.Fatalf("linting fixture: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the missing-reason finding: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "keyok requires a reason") {
+		t.Errorf("diagnostic = %s, want a keyok-requires-a-reason finding", diags[0])
+	}
+}
+
+// TestParseMember pins the source/sink/sanitizer pattern grammar.
+func TestParseMember(t *testing.T) {
+	cases := []struct {
+		pat  string
+		want member
+		err  bool
+	}{
+		{pat: "hpnn/internal/keys:Key.Hex", want: member{pkg: "hpnn/internal/keys", typ: "Key", name: "Hex"}},
+		{pat: "hpnn/internal/cryptobase:EncryptParams", want: member{pkg: "hpnn/internal/cryptobase", name: "EncryptParams"}},
+		{pat: "keyflowdata:send", want: member{pkg: "keyflowdata", name: "send"}},
+		{pat: "no-colon", err: true},
+		{pat: ":Member", err: true},
+		{pat: "pkg:", err: true},
+	}
+	for _, c := range cases {
+		got, err := parseMember(c.pat)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseMember(%q) succeeded, want error", c.pat)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseMember(%q): %v", c.pat, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseMember(%q) = %+v, want %+v", c.pat, got, c.want)
+		}
+	}
+}

@@ -40,7 +40,8 @@ type Program struct {
 	Pkgs   []*Package
 	Config Config
 
-	byPath map[string]*Package
+	byPath    map[string]*Package
+	callgraph *CallGraph // built lazily by CallGraph()
 }
 
 // Lookup returns the loaded package with the given import path, or nil.

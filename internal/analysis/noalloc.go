@@ -36,46 +36,34 @@ import (
 // statically and are not followed; annotate each concrete implementation
 // instead. First-use growth paths are suppressed in place with
 // //hpnn:allow(noalloc) plus a reason.
+//
+// The transitive closure runs over the shared callgraph (callgraph.go), the
+// same graph the keyflow taint engine consumes, so both interprocedural
+// checks resolve calls identically. noalloc_legacy_test.go pins the
+// migrated walk to the original hand-rolled BFS diagnostic-for-diagnostic.
 func runNoAlloc(prog *Program, report func(pos token.Pos, format string, args ...any)) {
 	allows := collectAllows(prog)
-	type fnInfo struct {
-		pkg  *Package
-		decl *ast.FuncDecl
-	}
-	fns := make(map[*types.Func]fnInfo)
+	cg := prog.CallGraph()
 	var roots []*types.Func
 
-	for _, pkg := range prog.Pkgs {
-		for _, file := range pkg.Files {
-			for _, d := range file.Decls {
-				decl, ok := d.(*ast.FuncDecl)
-				if !ok || decl.Body == nil {
-					continue
-				}
-				obj, ok := pkg.Info.Defs[decl.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				fns[obj] = fnInfo{pkg: pkg, decl: decl}
-				name := decl.Name.Name
-				isRoot := false
-				for _, suf := range prog.Config.NoAllocSuffixes {
-					if strings.HasSuffix(name, suf) {
-						isRoot = true
-						break
-					}
-				}
-				if !isRoot && funcHasAnnotation(prog, file, decl, "noalloc") {
-					isRoot = true
-				}
-				if isRoot {
-					roots = append(roots, obj)
-				}
+	for _, node := range cg.Nodes {
+		name := node.Decl.Name.Name
+		isRoot := false
+		for _, suf := range prog.Config.NoAllocSuffixes {
+			if strings.HasSuffix(name, suf) {
+				isRoot = true
+				break
 			}
+		}
+		if !isRoot && funcHasAnnotation(prog, node.File, node.Decl, "noalloc") {
+			isRoot = true
+		}
+		if isRoot {
+			roots = append(roots, node.Obj)
 		}
 	}
 
-	// Breadth-first closure over static calls, remembering which root first
+	// Breadth-first closure over the callgraph, remembering which root first
 	// pulled each function into the contract so diagnostics can say why a
 	// helper deep in the tensor package is being held to it.
 	rootOf := make(map[*types.Func]*types.Func)
@@ -87,7 +75,7 @@ func runNoAlloc(prog *Program, report func(pos token.Pos, format string, args ..
 		}
 	}
 	enqueue := func(callee, root *types.Func) {
-		if _, ok := fns[callee]; !ok {
+		if cg.Node(callee) == nil {
 			return // outside the module (stdlib) or no body (assembly)
 		}
 		if _, seen := rootOf[callee]; seen {
@@ -100,44 +88,81 @@ func runNoAlloc(prog *Program, report func(pos token.Pos, format string, args ..
 	for len(queue) > 0 {
 		fn := queue[0]
 		queue = queue[1:]
-		info := fns[fn]
+		node := cg.Node(fn)
 		root := rootOf[fn]
 		where := fn.Name()
 		if root != fn {
 			where = fn.Name() + " (on the noalloc path via " + root.Name() + ")"
 		}
 
+		// Edges come from the recorded call sites: an //hpnn:allow(noalloc)
+		// on a call cuts every edge in that call's subtree (the legacy
+		// walker's skipped-subtree semantics); conversions, builtins, and
+		// fmt calls contribute no edges (fmt's value arguments feed the
+		// formatter, not the caller's hot path).
+		var cutSpans []*ast.CallExpr
+		for _, site := range node.Sites {
+			if allows.at(prog, site.Call.Pos(), "noalloc") {
+				cutSpans = append(cutSpans, site.Call)
+				continue
+			}
+			cut := false
+			for _, span := range cutSpans {
+				if site.enclosedBy(span) {
+					cut = true
+					break
+				}
+			}
+			if cut || site.IsConversion {
+				continue
+			}
+			if _, isBuiltin := site.Callee.(*types.Builtin); isBuiltin {
+				continue
+			}
+			if callee := site.CalleeFunc(); callee != nil {
+				if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+					continue
+				}
+				enqueue(callee, root)
+			}
+			// Module functions passed by value (kernel workers handed to
+			// the pool dispatchers) execute on behalf of the caller.
+			for _, va := range site.ValueArgs {
+				enqueue(va, root)
+			}
+		}
+
 		// fmt calls feeding panic directly are exempt (cold path); the
 		// panic call is visited before its argument, so mark it here.
 		panicFed := make(map[ast.Node]bool)
 
-		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
-			switch node := n.(type) {
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch node2 := n.(type) {
 			case *ast.FuncLit:
-				report(node.Pos(), "func literal in %s may capture variables and allocate", where)
+				report(node2.Pos(), "func literal in %s may capture variables and allocate", where)
 				return false
 			case *ast.UnaryExpr:
-				if node.Op == token.AND {
-					if lit, ok := node.X.(*ast.CompositeLit); ok {
-						report(node.Pos(), "&%s literal in %s escapes to the heap", litName(lit), where)
+				if node2.Op == token.AND {
+					if lit, ok := node2.X.(*ast.CompositeLit); ok {
+						report(node2.Pos(), "&%s literal in %s escapes to the heap", litName(lit), where)
 						return false // the inner literal is covered by this finding
 					}
 				}
 			case *ast.CompositeLit:
-				switch info.pkg.Info.TypeOf(node).Underlying().(type) {
+				switch node.Pkg.Info.TypeOf(node2).Underlying().(type) {
 				case *types.Slice:
-					report(node.Pos(), "slice literal in %s allocates", where)
+					report(node2.Pos(), "slice literal in %s allocates", where)
 				case *types.Map:
-					report(node.Pos(), "map literal in %s allocates", where)
+					report(node2.Pos(), "map literal in %s allocates", where)
 				}
 			case *ast.CallExpr:
-				if allows.at(prog, node.Pos(), "noalloc") {
-					return false // suppressed call site: cut the edge too
+				if allows.at(prog, node2.Pos(), "noalloc") {
+					return false // suppressed call site: findings in the subtree too
 				}
-				if b, ok := calleeObject(info.pkg, node).(*types.Builtin); ok && b.Name() == "panic" {
-					for _, arg := range node.Args {
+				if b, ok := calleeObject(node.Pkg, node2).(*types.Builtin); ok && b.Name() == "panic" {
+					for _, arg := range node2.Args {
 						if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
-							if fn, ok := calleeObject(info.pkg, inner).(*types.Func); ok &&
+							if fn, ok := calleeObject(node.Pkg, inner).(*types.Func); ok &&
 								fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
 								panicFed[inner] = true
 							}
@@ -145,12 +170,10 @@ func runNoAlloc(prog *Program, report func(pos token.Pos, format string, args ..
 					}
 					return true
 				}
-				if panicFed[node] {
+				if panicFed[node2] {
 					return true // formatting a panic message: cold by construction
 				}
-				checkNoAllocCall(prog, info.pkg, node, where, report, func(callee *types.Func) {
-					enqueue(callee, root)
-				})
+				checkNoAllocCall(prog, node.Pkg, node2, where, report, nil)
 			}
 			return true
 		})
@@ -165,9 +188,11 @@ func litName(lit *ast.CompositeLit) string {
 }
 
 // checkNoAllocCall inspects one call expression inside a noalloc function:
-// it flags allocating builtins, fmt calls, and interface boxing, and feeds
-// statically resolvable module callees (and module functions passed by
-// value as arguments) back into the closure via follow.
+// it flags allocating builtins, fmt calls, and interface boxing. With a
+// non-nil follow it also feeds statically resolvable module callees (and
+// module functions passed by value as arguments) back into the closure —
+// the legacy interleaved walk, kept for the parity oracle; the production
+// check passes nil and takes its edges from the shared callgraph.
 func checkNoAllocCall(prog *Program, pkg *Package, call *ast.CallExpr, where string,
 	report func(pos token.Pos, format string, args ...any), follow func(*types.Func)) {
 
@@ -196,16 +221,20 @@ func checkNoAllocCall(prog *Program, pkg *Package, call *ast.CallExpr, where str
 				report(call.Pos(), "call to fmt.%s in %s allocates", callee.Name(), where)
 				return // boxing into fmt's ...any is subsumed by this finding
 			}
-			follow(callee)
+			if follow != nil {
+				follow(callee)
+			}
 		}
 	}
 
 	// Module functions passed by value (kernel workers handed to the pool
 	// dispatchers) execute on behalf of the caller; pull them in.
-	for _, arg := range call.Args {
-		if obj := identObject(pkg, arg); obj != nil {
-			if fn, ok := obj.(*types.Func); ok {
-				follow(fn)
+	if follow != nil {
+		for _, arg := range call.Args {
+			if obj := identObject(pkg, arg); obj != nil {
+				if fn, ok := obj.(*types.Func); ok {
+					follow(fn)
+				}
 			}
 		}
 	}

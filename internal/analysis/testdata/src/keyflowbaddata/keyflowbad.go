@@ -1,0 +1,21 @@
+// Package keyflowbaddata holds the malformed-suppression case: a
+// //hpnn:keyok with an empty reason. The golden want-comment convention
+// cannot express a finding on a comment-only line (one comment per line),
+// so TestKeyflowKeyokReason asserts the diagnostic directly.
+package keyflowbaddata
+
+import "os"
+
+// Vault mirrors the keyflowdata fixture.
+type Vault struct{ secret []byte }
+
+// Secret is the configured source.
+func (v *Vault) Secret() []byte { return v.secret }
+
+// NoReason carries a keyok with no reason: the edge is still cut (the
+// write below must not be reported), but the empty suppression itself is
+// a finding — sanctioned flows must stay auditable.
+func NoReason(v *Vault) error {
+	//hpnn:keyok()
+	return os.WriteFile("escrow.hex", v.Secret(), 0o600)
+}

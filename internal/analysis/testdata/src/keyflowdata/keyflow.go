@@ -1,0 +1,101 @@
+// Package keyflowdata is a golden fixture for the keyflow taint check:
+// direct source→sink flows, a flow through two call hops reported at the
+// site where the material enters the chain, a sanitizer cut, a configured
+// module sink, and //hpnn:keyok scoping. The test config maps Vault.Secret
+// and Vault.Bits as sources, send as a module sink, and Scrub as the
+// sanitizer.
+package keyflowdata
+
+import (
+	"fmt"
+	"os"
+)
+
+// Vault stands in for the key device: a method source and a field source.
+type Vault struct {
+	secret []byte
+	Bits   []byte
+}
+
+// Secret is the configured method source.
+func (v *Vault) Secret() []byte { return v.secret }
+
+// Scrub is the configured sanitizer: it derives a value from the material
+// (dataflow-wise a pass-through — without the sanitizer declaration the
+// engine would propagate taint straight through it), and the config
+// declares the result public by fiat.
+func Scrub(b []byte) []byte { return b[:1:1] }
+
+// send is the configured module sink (stands in for a wire encoder).
+func send(b []byte) { _ = b }
+
+// LogDirect leaks through a fmt verb in one step.
+func LogDirect(v *Vault) {
+	fmt.Printf("key=%x\n", v.Secret()) // want "key material from keyflowdata.Vault.Secret reaches fmt.Printf"
+}
+
+// FieldFile leaks a source field into a file write.
+func FieldFile(v *Vault) error {
+	return os.WriteFile("bits.bin", v.Bits, 0o600) // want "key material from keyflowdata.Vault.Bits reaches os.WriteFile"
+}
+
+// wrap copies the material into a framed buffer: hop one.
+func wrap(b []byte) []byte { return append([]byte("k:"), b...) }
+
+// emit prints whatever it is handed: hop two. The flow is reported at the
+// caller that supplies key material, not here — emit's own arguments are
+// only parameter-tainted.
+func emit(b []byte) {
+	fmt.Println(string(b))
+}
+
+// TwoHops drives key material through wrap and emit; the finding lands on
+// this call with the chain in the message.
+func TwoHops(v *Vault) {
+	emit(wrap(v.Secret())) // want `key material from keyflowdata.Vault.Secret reaches fmt.Println \(via emit\)`
+}
+
+// ModuleSink exercises a configured (non-stdlib) sink.
+func ModuleSink(v *Vault) {
+	send(v.Secret()) // want "key material from keyflowdata.Vault.Secret reaches keyflowdata.send"
+}
+
+// Sanitized routes through the choke point: Scrub's result is clean, so
+// the fmt verb below must stay silent (TestKeyflowSanitizerRemoved proves
+// it fires again when the sanitizer is deconfigured).
+func Sanitized(v *Vault) {
+	fmt.Printf("pub=%x\n", Scrub(v.Secret()))
+}
+
+// Sanctioned is the keyok escape hatch: the annotated line is cut.
+func Sanctioned(v *Vault) error {
+	//hpnn:keyok(fixture: owner-requested escrow of the raw key)
+	return os.WriteFile("escrow.hex", v.Secret(), 0o600)
+}
+
+// KeyokBelow shows scoping: a keyok after the flow covers nothing — the
+// annotation must sit on the flagged line or the line above it.
+func KeyokBelow(v *Vault) error {
+	err := os.WriteFile("late.hex", v.Secret(), 0o600) // want "key material from keyflowdata.Vault.Secret reaches os.WriteFile"
+	//hpnn:keyok(fixture: a comment below the flow does not cover it)
+	_ = err
+	return err
+}
+
+// Arithmetic shows the deliberate non-flow: key bits folded through
+// arithmetic (the lock transform itself) carry no taint.
+func Arithmetic(v *Vault) {
+	sum := 0
+	for _, b := range v.Bits {
+		sum += int(b) * 3
+	}
+	fmt.Println(sum)
+}
+
+// PanicFed shows the cold-path exemption shared with noalloc: a fmt call
+// feeding panic directly formats a crash message, not an output.
+func PanicFed(v *Vault) {
+	if len(v.Bits) == 0 {
+		panic(fmt.Sprintf("vault %v has no bits", v.Bits))
+	}
+}

@@ -123,10 +123,22 @@ func (k Key) OnesCount() int {
 	return c
 }
 
-// String renders a short fingerprint, never the full key, so keys do not
-// leak through logs.
+// Fingerprint returns a short one-way identifier (the same Mix64 digest a
+// Device reports), safe to log or embed in error messages: no prefix of
+// the raw key survives the mix.
+func (k Key) Fingerprint() string {
+	h := rng.Mix64(0x48504e4e) // "HPNN"
+	for _, b := range k.b {
+		h = rng.Mix64(h ^ uint64(b))
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// String renders the one-way fingerprint, never key material: the previous
+// hex-prefix form put 32 raw key bits in every log line that formatted a
+// key, which hpnn-lint's keyflow check now rejects.
 func (k Key) String() string {
-	return fmt.Sprintf("HPNNKey(%s…, weight=%d)", k.Hex()[:8], k.OnesCount())
+	return fmt.Sprintf("HPNNKey(fp=%s, weight=%d)", k.Fingerprint(), k.OnesCount())
 }
 
 // Device models the hardware root of trust: a sealed container holding the
@@ -141,6 +153,11 @@ type Device struct {
 	// hardware degrades to the baseline function, which is useless on an
 	// obfuscated model — the license is dead).
 	authority *Authority
+	// zeroized is set once the sealed key has been wiped; a zeroized
+	// device answers every query like a revoked one. Without the flag a
+	// wiped device would keep deriving streams from the all-zero key,
+	// which is a valid (if degenerate) key, not a dead one.
+	zeroized bool
 }
 
 // NewDevice provisions a trusted device with the given key. serial is a
@@ -155,7 +172,7 @@ func (d *Device) Serial() string { return d.serial }
 // ColumnBit returns the key bit wired to accumulator column col — the only
 // key access the hardware exposes. A revoked device reads as all-zero.
 func (d *Device) ColumnBit(col int) byte {
-	if d.authority != nil && d.authority.Revoked(d.serial) {
+	if d.revokedNow() {
 		return 0
 	}
 	return d.key.Bit(col)
@@ -176,13 +193,7 @@ func (d *Device) BitsForColumns(cols []int) []byte {
 // Fingerprint returns a short non-sensitive identifier derived from the
 // key, used to check that a model and a device were provisioned together
 // without revealing key material.
-func (d *Device) Fingerprint() string {
-	h := rng.Mix64(0x48504e4e) // "HPNN"
-	for _, b := range d.key.b {
-		h = rng.Mix64(h ^ uint64(b))
-	}
-	return fmt.Sprintf("%016x", h)
-}
+func (d *Device) Fingerprint() string { return d.key.Fingerprint() }
 
 // Revoked reports whether this device's license has been pulled. The lock
 // hardware checks it when deciding whether cached key-bit material (the
@@ -190,10 +201,25 @@ func (d *Device) Fingerprint() string {
 // nothing about the key itself.
 func (d *Device) Revoked() bool { return d.revokedNow() }
 
-// revokedNow reports whether this device's license has been pulled.
+// revokedNow reports whether this device's license has been pulled (or its
+// key wiped, which is indistinguishable from the outside).
 func (d *Device) revokedNow() bool {
-	return d.authority != nil && d.authority.Revoked(d.serial)
+	return d.zeroized || (d.authority != nil && d.authority.Revoked(d.serial))
 }
+
+// Zeroize wipes the sealed key in place and retires the device: every
+// subsequent query answers like a revoked license. Callers must have
+// quiesced the device first — Zeroize is the teardown path (tenant
+// eviction, process shutdown), not a concurrent control.
+func (d *Device) Zeroize() {
+	for i := range d.key.b {
+		d.key.b[i] = 0
+	}
+	d.zeroized = true
+}
+
+// Zeroized reports whether the sealed key has been wiped.
+func (d *Device) Zeroized() bool { return d.zeroized }
 
 // derive returns a generator keyed by the sealed key and a domain label.
 // Every key byte feeds the seed chain, so flipping any single key bit
@@ -304,6 +330,25 @@ func (r *Ring) Unbind(model string) {
 			delete(r.owner, d)
 		}
 		delete(r.byModel, model)
+	}
+}
+
+// Zeroize unbinds model and wipes its device's sealed key — the terminal
+// form of Unbind for tenants that are gone for good (registry shutdown,
+// hpnn-serve process exit). Unlike Unbind, the device cannot be rebound
+// usefully afterwards: it answers like a revoked license.
+func (r *Ring) Zeroize(model string) {
+	r.mu.Lock()
+	d, ok := r.byModel[model]
+	if ok {
+		if d != nil {
+			delete(r.owner, d)
+		}
+		delete(r.byModel, model)
+	}
+	r.mu.Unlock()
+	if d != nil {
+		d.Zeroize()
 	}
 }
 

@@ -268,3 +268,96 @@ func TestRingOneDeviceOneModel(t *testing.T) {
 		t.Fatalf("device not released on unbind: %v", err)
 	}
 }
+
+// TestDeviceZeroize: wiping a device zeroes the sealed key's backing
+// storage in place and makes every subsequent query answer like a revoked
+// license — zero mask stream, identity-free zero bits, no fingerprint
+// change needed because Fingerprint is never consulted after teardown.
+func TestDeviceZeroize(t *testing.T) {
+	d := NewDevice("edge-z", Generate(rng.New(7)))
+	if d.Zeroized() {
+		t.Fatal("fresh device reports zeroized")
+	}
+	// Establish that the device is live first, so the post-wipe checks
+	// prove a transition rather than a dead fixture.
+	live := d.MaskStream("m", 32)
+	any := false
+	for _, b := range live {
+		any = any || b != 0
+	}
+	if !any {
+		t.Fatal("live device produced an all-zero mask stream")
+	}
+
+	d.Zeroize()
+
+	if !d.Zeroized() {
+		t.Fatal("Zeroize did not mark the device")
+	}
+	for i, b := range d.key.b {
+		if b != 0 {
+			t.Fatalf("key byte %d = %#x after Zeroize; backing storage not wiped", i, b)
+		}
+	}
+	for _, b := range d.MaskStream("m", 32) {
+		if b != 0 {
+			t.Fatal("zeroized device leaked a non-zero mask stream")
+		}
+	}
+	for col := 0; col < KeyBits; col++ {
+		if d.ColumnBit(col) != 0 {
+			t.Fatalf("zeroized device answered column %d with a live bit", col)
+		}
+	}
+	perm := d.Permutation("p", 8)
+	for i, p := range perm {
+		if p != i {
+			t.Fatalf("zeroized device returned a keyed permutation %v; want identity", perm)
+		}
+	}
+	if !d.Revoked() {
+		t.Fatal("zeroized device does not read as revoked")
+	}
+}
+
+// TestRingZeroize: Ring.Zeroize is the terminal Unbind — the binding is
+// gone and the device's key storage is wiped, while plain Unbind leaves
+// the device intact for rebinding.
+func TestRingZeroize(t *testing.T) {
+	r := rng.New(11)
+	devA := NewDevice("a", Generate(r))
+	devB := NewDevice("b", Generate(r))
+	ring := NewRing()
+	if err := ring.Bind("alpha", devA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Bind("beta", devB); err != nil {
+		t.Fatal(err)
+	}
+
+	ring.Zeroize("alpha")
+	if _, ok := ring.Device("alpha"); ok {
+		t.Fatal("zeroized model still bound")
+	}
+	if !devA.Zeroized() {
+		t.Fatal("ring eviction did not wipe the tenant's device")
+	}
+	for i, b := range devA.key.b {
+		if b != 0 {
+			t.Fatalf("key byte %d = %#x after ring Zeroize", i, b)
+		}
+	}
+	// The other tenant's device is untouched.
+	if devB.Zeroized() {
+		t.Fatal("Zeroize of alpha wiped beta's device")
+	}
+	// Zeroizing an unknown or commodity (nil-device) model is a no-op.
+	ring.Zeroize("ghost")
+	if err := ring.Bind("plain", nil); err != nil {
+		t.Fatal(err)
+	}
+	ring.Zeroize("plain")
+	if _, ok := ring.Device("plain"); ok {
+		t.Fatal("commodity binding survived Zeroize")
+	}
+}

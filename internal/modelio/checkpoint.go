@@ -128,6 +128,10 @@ func SaveCheckpoint(w io.Writer, m *core.Model, st train.State) error {
 		if err := bw.WriteByte(engaged); err != nil {
 			return err
 		}
+		// Lock bits are checkpoint state by design: HPCK files live on the
+		// owner's training host, and resume must re-engage the exact lock.
+		// This is the single choke point where they touch a writer.
+		//hpnn:keyok(owner-side HPCK checkpoint needs lock bits to resume training)
 		if _, err := bw.Write(bits); err != nil {
 			return err
 		}

@@ -76,6 +76,21 @@ func (lm *lockMask) refresh(m *MMU, cols []int) {
 	lm.revoked = rev
 }
 
+// wipe zeroes the cached key-bit sign masks and marks the mask unbuilt.
+// The entries are overwritten before the slice is dropped so that every
+// alias of the backing array reads zeros too — Release calls this when a
+// tenant's plan is evicted, and the whole point is that no key-derived
+// residue survives in reusable accelerator memory.
+func (lm *lockMask) wipe() {
+	for i := range lm.neg {
+		lm.neg[i] = 0
+	}
+	lm.neg = nil
+	lm.locked = 0
+	lm.built = false
+	lm.revoked = false
+}
+
 // --- batched op implementations ---------------------------------------------
 
 func (o *convOp) applyBatch(a *Accelerator, act *tensor.Tensor) (*tensor.Tensor, error) {

@@ -147,12 +147,33 @@ func (a *Accelerator) WorkspaceSealed() bool { return a.ws.Sealed() }
 // is empty but fully reusable — the next Compile/Predict lowers from
 // scratch, exactly like a fresh accelerator. Not safe to call concurrently
 // with an inference on the same device.
+// Release also zeroes every key-derived cache the dropped plans hold (the
+// lock-bit sign masks of the batched tier), so an evicted tenant leaves no
+// key residue behind for the next occupant of the device.
 func (a *Accelerator) Release() {
 	//hpnn:allow(determinism) order-independent full clear (the compiler's map-clear idiom)
-	for m := range a.plans {
+	for m, plan := range a.plans {
+		for _, op := range plan {
+			wipeOpKeyMaterial(op)
+		}
 		delete(a.plans, m)
 	}
 	a.ws.Reset()
+}
+
+// wipeOpKeyMaterial zeroes the key-derived state a compiled op caches.
+// Only the ops that consult the device's key bits carry a lockMask; the
+// purely arithmetic ops (vector, affine, pooling) hold nothing derived
+// from the key.
+func wipeOpKeyMaterial(op planOp) {
+	switch o := op.(type) {
+	case *convOp:
+		o.mask.wipe()
+	case *denseOp:
+		o.mask.wipe()
+	case *lockReluOp:
+		o.mask.wipe()
+	}
 }
 
 // WorkspaceBytes reports the bytes held by the device's activation

@@ -1,0 +1,69 @@
+package tpu
+
+import (
+	"testing"
+
+	"hpnn/internal/core"
+	"hpnn/internal/lockscheme"
+	"hpnn/internal/rng"
+	"hpnn/internal/tensor"
+)
+
+// TestReleaseWipesKeyMaterial: evicting a tenant via Release must zero the
+// key-derived sign masks the batched tier cached, not just drop the plan
+// map entries. The test aliases every built mask's backing slice before
+// Release and requires the bytes behind those aliases to read zero after —
+// the exact property a reused accelerator needs so the next occupant
+// cannot scavenge the previous tenant's key bits out of live memory.
+func TestReleaseWipesKeyMaterial(t *testing.T) {
+	for si, schemeName := range lockscheme.Names() {
+		t.Run(schemeName, func(t *testing.T) {
+			seed := uint64(9000 + 31*si)
+			f := publishRandom(t, schemeName, core.CNN1, 16, seed)
+			a := f.accel(t, DefaultConfig())
+			x := tensor.New(4, 1, 16, 16)
+			x.FillUniform(rng.New(seed+5), -1, 1)
+			if _, err := a.PredictBatch(f.model, x); err != nil {
+				t.Fatal(err)
+			}
+
+			// Alias every built sign mask before eviction.
+			var masks [][]int32
+			for _, plan := range a.plans {
+				for _, op := range plan {
+					var lm *lockMask
+					switch o := op.(type) {
+					case *convOp:
+						lm = &o.mask
+					case *denseOp:
+						lm = &o.mask
+					case *lockReluOp:
+						lm = &o.mask
+					}
+					if lm != nil && lm.built {
+						masks = append(masks, lm.neg)
+					}
+				}
+			}
+			// The MAC-lock scheme must actually have cached key bits here,
+			// or the wipe assertion below would pass vacuously. Weight-space
+			// schemes legitimately build no masks (MACColumns is nil).
+			if schemeName == lockscheme.DefaultName && len(masks) == 0 {
+				t.Fatalf("scheme %s built no sign masks; fixture exercises nothing", schemeName)
+			}
+
+			a.Release()
+
+			for mi, m := range masks {
+				for i, v := range m {
+					if v != 0 {
+						t.Fatalf("mask %d entry %d = %d after Release; key-derived sign masks not wiped", mi, i, v)
+					}
+				}
+			}
+			if len(a.plans) != 0 {
+				t.Fatalf("Release left %d plans cached", len(a.plans))
+			}
+		})
+	}
+}

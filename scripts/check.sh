@@ -8,9 +8,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 go vet ./...
-# The in-tree analyzer (DESIGN.md §11): zero-alloc, determinism, and
-# concurrency invariants as whole-module structural checks. Runs before
-# the race gates — it is faster and its findings are cheaper to read.
+# The in-tree analyzer (DESIGN.md §11, §16): zero-alloc, determinism, and
+# concurrency invariants as whole-module structural checks, plus the
+# keyflow taint check (default-on) proving key material never reaches a
+# log, error, file, or wire encoder outside the sanctioned choke points.
+# Runs before the race gates — it is faster and its findings are cheaper
+# to read.
 go run ./cmd/hpnn-lint ./...
 go test -race ./internal/tensor/... ./internal/nn/... ./internal/serve/... ./internal/train/...
 # The accelerator's own concurrency surface (per-shard plans over one
